@@ -1,0 +1,103 @@
+// Reproduces paper Fig. 4: FedClust accuracy and resulting cluster count as
+// the clustering threshold λ sweeps from pure personalization (tiny λ →
+// every client its own cluster ≈ Local) to pure globalization (huge λ → one
+// cluster ≈ FedAvg).
+//
+// The λ grid is data-driven: quantiles of the round-0 proximity matrix's
+// dendrogram merge distances, which guarantees the sweep traverses the
+// whole cluster-count range whatever the dataset's distance scale is.
+
+#include <algorithm>
+#include <iostream>
+
+#include "clustering/hierarchical.h"
+#include "core/fedclust.h"
+#include "harness.h"
+#include "table_common.h"
+#include "util/config.h"
+#include "util/table.h"
+
+namespace fedclust::bench {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  util::ArgParser args("fig4_lambda_tradeoff",
+                       "accuracy & cluster count vs λ (paper Fig. 4)");
+  args.add_option("datasets", "comma-separated dataset list",
+                  "cifar10,cifar100,fmnist,svhn");
+  args.add_option("points", "number of λ grid points", "8");
+  if (!args.parse(argc, argv)) return 0;
+
+  const Scale scale = get_scale();
+  const auto datasets = split_csv_list(args.str("datasets"));
+  const auto n_points = static_cast<std::size_t>(
+      std::max<std::int64_t>(2, args.integer("points")));
+
+  for (const auto& dataset : datasets) {
+    // Probe run (1 round) to obtain the proximity matrix and its merge
+    // distances; the λ grid spans them.
+    fl::ExperimentConfig probe_cfg =
+        make_config(dataset, "skew20", scale, 1000);
+    probe_cfg.rounds = 1;
+    probe_cfg.algo.fedclust_k = 0;
+    probe_cfg.algo.fedclust_lambda = -1.0f;
+    fl::Federation probe_fed(probe_cfg);
+    core::FedClust probe(probe_fed);
+    probe.run();
+    const auto dendro = clustering::agglomerative(probe.report().proximity);
+    std::vector<float> merges;
+    for (const auto& m : dendro.merges) merges.push_back(m.distance);
+    std::sort(merges.begin(), merges.end());
+    if (merges.empty()) continue;
+
+    std::cout << "\nFig. 4 — " << dataset << " (skew 20%, scale '"
+              << scale.name << "')\n";
+    util::TablePrinter table;
+    table.set_headers({"lambda", "clusters", "accuracy %", "regime"});
+
+    double best_acc = -1.0;
+    std::size_t best_clusters = 0;
+    // Quantile grid plus the two extremes.
+    std::vector<float> lambdas = {0.5f * merges.front()};
+    for (std::size_t i = 1; i + 1 < n_points; ++i) {
+      const double q = static_cast<double>(i) /
+                       static_cast<double>(n_points - 1);
+      lambdas.push_back(
+          merges[static_cast<std::size_t>(q * (merges.size() - 1))] *
+          1.0001f);
+      // nudge above the merge so the cut includes it
+    }
+    lambdas.push_back(merges.back() * 1.1f);
+
+    for (const float lambda : lambdas) {
+      fl::ExperimentConfig cfg = make_config(dataset, "skew20", scale, 1000);
+      cfg.algo.fedclust_k = 0;
+      cfg.algo.fedclust_lambda = lambda;
+      fl::Federation fed(cfg);
+      core::FedClust algo(fed);
+      const fl::Trace trace = algo.run();
+      const std::size_t k = algo.report().n_clusters;
+      const double acc = trace.final_accuracy() * 100.0;
+      if (acc > best_acc) {
+        best_acc = acc;
+        best_clusters = k;
+      }
+      std::string regime = "clustered";
+      if (k == 1) regime = "global (≈FedAvg)";
+      if (k == fed.n_clients()) regime = "personal (≈Local)";
+      table.add_row({util::fmt_float(lambda, 3), std::to_string(k),
+                     util::fmt_float(acc, 2), regime});
+    }
+    table.print();
+    std::cout << "best: " << util::fmt_float(best_acc, 2) << "% at "
+              << best_clusters
+              << " clusters (paper: interior optimum — all clients benefit "
+                 "from some globalization)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedclust::bench
+
+int main(int argc, char** argv) { return fedclust::bench::run(argc, argv); }

@@ -1,0 +1,179 @@
+// google-benchmark micro-kernels: the computational building blocks behind
+// the simulator, plus the paper's §5.2 "computation overhead" claim — the
+// one-shot hierarchical clustering the server performs once is negligible
+// next to a single round of local training.
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/distance.h"
+#include "clustering/hierarchical.h"
+#include "data/partition.h"
+#include "fl/client.h"
+#include "linalg/principal_angles.h"
+#include "linalg/svd.h"
+#include "nn/loss.h"
+#include "nn/model_zoo.h"
+#include "nn/optimizer.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fedclust;
+
+tensor::Tensor random_tensor(tensor::Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor t(std::move(shape));
+  for (auto& x : t.vec()) x = rng.normalf(0, 1);
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_tensor({n, n}, 1);
+  const auto b = random_tensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2Col(benchmark::State& state) {
+  const std::size_t c = 6;
+  const std::size_t hw = 16;
+  const auto img = random_tensor({c, hw, hw}, 3);
+  std::vector<float> col(c * 25 * hw * hw);
+  for (auto _ : state) {
+    tensor::im2col(img.data(), c, hw, hw, 5, 5, 1, 2, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_LeNetForward(benchmark::State& state) {
+  nn::Model m = nn::lenet5(3, 16, 10, 1);
+  const auto x = random_tensor({10, 3, 16, 16}, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.forward(x));
+  }
+}
+BENCHMARK(BM_LeNetForward);
+
+void BM_LeNetTrainStep(benchmark::State& state) {
+  nn::Model m = nn::lenet5(3, 16, 10, 1);
+  nn::Sgd opt(m.parameters(), {.lr = 0.02f, .momentum = 0.5f});
+  const auto x = random_tensor({10, 3, 16, 16}, 4);
+  const std::vector<std::int64_t> y = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (auto _ : state) {
+    opt.zero_grad();
+    const auto lr = nn::softmax_cross_entropy(m.forward(x, true), y);
+    m.backward(lr.grad_logits);
+    opt.step();
+  }
+}
+BENCHMARK(BM_LeNetTrainStep);
+
+void BM_ResNet9TrainStep(benchmark::State& state) {
+  nn::Model m = nn::resnet9(3, 16, 20, 8, 1);
+  nn::Sgd opt(m.parameters(), {.lr = 0.02f});
+  const auto x = random_tensor({10, 3, 16, 16}, 4);
+  const std::vector<std::int64_t> y = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (auto _ : state) {
+    opt.zero_grad();
+    const auto lr = nn::softmax_cross_entropy(m.forward(x, true), y);
+    m.backward(lr.grad_logits);
+    opt.step();
+  }
+}
+BENCHMARK(BM_ResNet9TrainStep);
+
+// Proximity matrix over n clients' classifier weights (850 floats each for
+// LeNet-5/10 classes) — FedClust's Eq. 3 cost.
+void BM_ProximityMatrix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  std::vector<std::vector<float>> weights(n, std::vector<float>(850));
+  for (auto& w : weights) {
+    for (auto& x : w) x = rng.normalf(0, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::l2_distance_matrix(weights));
+  }
+}
+BENCHMARK(BM_ProximityMatrix)->Arg(100)->Arg(400);
+
+// One-shot HC on an n x n proximity matrix — the paper's O(N^2) server
+// overhead (Algorithm 1, line 6). Compare against BM_LeNetTrainStep x
+// steps-per-round to see it is negligible.
+void BM_HierarchicalClustering(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  std::vector<std::vector<float>> pts(n, std::vector<float>(8));
+  for (auto& p : pts) {
+    for (auto& x : p) x = rng.normalf(0, 1);
+  }
+  const auto dist = clustering::l2_distance_matrix(pts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        clustering::agglomerative(dist, clustering::Linkage::kAverage));
+  }
+}
+BENCHMARK(BM_HierarchicalClustering)->Arg(100)->Arg(400);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_tensor({n, n}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::jacobi_svd(a));
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(8)->Arg(32);
+
+// PACFL's per-client cost: truncated SVD of a (768, 32) class matrix.
+void BM_TruncatedSvd(benchmark::State& state) {
+  const auto x = random_tensor({768, 32}, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::truncated_left_singular(x, 3));
+  }
+}
+BENCHMARK(BM_TruncatedSvd);
+
+void BM_PrincipalAngles(benchmark::State& state) {
+  util::Rng rng(9);
+  const auto u1 =
+      linalg::orthonormalize_columns(random_tensor({768, 6}, 10));
+  const auto u2 =
+      linalg::orthonormalize_columns(random_tensor({768, 6}, 11));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::principal_angle_distance_deg(u1, u2));
+  }
+}
+BENCHMARK(BM_PrincipalAngles);
+
+// Full local-training call as the FL loop issues it (10 samples, 2 epochs).
+void BM_ClientLocalTraining(benchmark::State& state) {
+  const auto spec = data::dataset_spec("cifar10");
+  data::FederatedConfig fcfg;
+  fcfg.n_clients = 1;
+  fcfg.train_per_client = 10;
+  fcfg.test_per_client = 4;
+  auto cdata = data::make_federated_data(spec, fcfg, 1);
+  fl::SimClient client(0, std::move(cdata[0].train), std::move(cdata[0].test));
+  nn::Model m = nn::lenet5(3, 16, 10, 1);
+  fl::LocalTrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 10;
+  opts.lr = 0.02f;
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.train(m, opts, util::Rng(salt++)));
+  }
+}
+BENCHMARK(BM_ClientLocalTraining);
+
+}  // namespace
+
+BENCHMARK_MAIN();

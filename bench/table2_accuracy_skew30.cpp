@@ -1,0 +1,9 @@
+// Reproduces paper Table 2: final average local test accuracy under
+// non-IID label skew (30%).
+
+#include "table_common.h"
+
+int main(int argc, char** argv) {
+  return fedclust::bench::run_accuracy_table(
+      "skew30", "Table 2 (label skew 30%)", argc, argv);
+}

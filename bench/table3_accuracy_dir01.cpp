@@ -1,0 +1,9 @@
+// Reproduces paper Table 3: final average local test accuracy under
+// non-IID Dirichlet(0.1) label distributions.
+
+#include "table_common.h"
+
+int main(int argc, char** argv) {
+  return fedclust::bench::run_accuracy_table(
+      "dir01", "Table 3 (Dirichlet 0.1)", argc, argv);
+}

@@ -1,0 +1,96 @@
+#include "table_common.h"
+
+#include <iostream>
+#include <vector>
+
+#include "core/registry.h"
+#include "data/synthetic.h"
+#include "harness.h"
+#include "util/config.h"
+#include "util/table.h"
+
+namespace fedclust::bench {
+
+std::vector<std::string> split_csv_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+int run_accuracy_table(const std::string& setting,
+                       const std::string& paper_table_name, int argc,
+                       const char* const* argv) {
+  util::ArgParser args("table_" + setting,
+                       "reproduce " + paper_table_name +
+                           " (final avg local test accuracy, " + setting +
+                           ")");
+  args.add_option("datasets", "comma-separated dataset list",
+                  "cifar10,cifar100,fmnist,svhn");
+  args.add_option("methods", "comma-separated method list (default: all)",
+                  "");
+  if (!args.parse(argc, argv)) return 0;
+
+  const Scale scale = get_scale();
+  const auto datasets = split_csv_list(args.str("datasets"));
+  auto methods = split_csv_list(args.str("methods"));
+  if (methods.empty()) methods = core::all_methods();
+
+  std::cout << paper_table_name << " — " << setting << " @ scale '"
+            << scale.name << "' (" << scale.n_clients << " clients, "
+            << scale.rounds << " rounds, " << scale.seeds << " seeds)\n"
+            << "cells: measured mean ± std  [paper]\n";
+
+  util::TablePrinter table;
+  std::vector<std::string> headers = {"Method"};
+  for (const auto& d : datasets) headers.push_back(d);
+  table.set_headers(headers);
+
+  // Track the best method per dataset for the shape summary.
+  std::vector<double> best_acc(datasets.size(), -1.0);
+  std::vector<std::string> best_method(datasets.size());
+  std::vector<double> fedclust_acc(datasets.size(), -1.0);
+
+  for (const auto& method : methods) {
+    std::vector<std::string> row = {method};
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+      const CellResult cell = run_cell(method, setting, datasets[d], scale);
+      const double paper = paper_accuracy(setting, method, datasets[d]);
+      std::string cellstr = util::fmt_pm(cell.mean_acc, cell.std_acc);
+      cellstr += paper >= 0.0 ? "  [" + util::fmt_float(paper, 2) + "]"
+                              : "  [--]";
+      row.push_back(cellstr);
+      if (cell.mean_acc > best_acc[d]) {
+        best_acc[d] = cell.mean_acc;
+        best_method[d] = method;
+      }
+      if (method == "FedClust") fedclust_acc[d] = cell.mean_acc;
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  std::cout << "\nshape check (paper: FedClust ranks first on every "
+               "dataset):\n";
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    std::cout << "  " << datasets[d] << ": best=" << best_method[d] << " ("
+              << util::fmt_float(best_acc[d], 2) << "%)";
+    if (fedclust_acc[d] >= 0.0) {
+      std::cout << ", FedClust=" << util::fmt_float(fedclust_acc[d], 2)
+                << "%"
+                << (best_method[d] == "FedClust" ? "  ✓" : "  ✗");
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace fedclust::bench

@@ -1,0 +1,21 @@
+#pragma once
+
+// Shared driver for the accuracy tables (Tables 1–3): runs the
+// (dataset x method) campaign for one non-IID setting and prints measured
+// vs paper values.
+
+#include <string>
+#include <vector>
+
+namespace fedclust::bench {
+
+// Returns a process exit code. Flags: --datasets=a,b --methods=x,y
+// --seeds=N (override scale).
+int run_accuracy_table(const std::string& setting,
+                       const std::string& paper_table_name, int argc,
+                       const char* const* argv);
+
+// Comma-split helper shared by the bench mains.
+std::vector<std::string> split_csv_list(const std::string& s);
+
+}  // namespace fedclust::bench

@@ -1,0 +1,77 @@
+// Quickstart: the smallest end-to-end FedClust run.
+//
+//   $ ./quickstart
+//
+// Synthesizes a 20-client federation with label-skewed CIFAR-10-like data,
+// runs FedClust's one-shot clustering + per-cluster training, and compares
+// the result against plain FedAvg on the same federation.
+
+#include <iostream>
+
+#include "core/fedclust.h"
+#include "fl/fedavg.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fedclust;
+
+  // 1. Describe the experiment: data, partition, model, local training.
+  fl::ExperimentConfig cfg;
+  cfg.data_spec = data::dataset_spec("cifar10");   // synthetic stand-in
+  cfg.fed.n_clients = 20;
+  cfg.fed.train_per_client = 10;
+  cfg.fed.test_per_client = 10;
+  cfg.fed.partition = "skew";        // each client owns 20% of the labels
+  cfg.fed.skew_fraction = 0.2;
+  cfg.model.arch = "lenet5";
+  cfg.model.in_channels = cfg.data_spec.channels;
+  cfg.model.image_hw = cfg.data_spec.hw;
+  cfg.model.num_classes = cfg.data_spec.num_classes;
+  cfg.local.epochs = 2;
+  cfg.local.batch_size = 10;
+  cfg.local.lr = 0.02f;
+  cfg.local.momentum = 0.5f;
+  cfg.rounds = 20;
+  cfg.sample_fraction = 0.2;         // 4 clients participate per round
+  cfg.seed = 42;
+  cfg.algo.fedclust_lambda = -1.0f;  // data-driven λ (largest gap)
+  cfg.algo.fedclust_init_epochs = 3;
+
+  // 2. Run FedClust.
+  fl::Federation fed(cfg);
+  core::FedClust fedclust(fed);
+  const fl::Trace ours = fedclust.run();
+
+  std::cout << "FedClust formed " << fedclust.report().n_clusters
+            << " clusters (lambda = "
+            << fedclust.report().effective_lambda << ")\n";
+  std::cout << "cluster sizes:";
+  std::vector<std::size_t> sizes(fedclust.report().n_clusters, 0);
+  for (const auto k : fedclust.assignment()) ++sizes[k];
+  for (const auto s : sizes) std::cout << ' ' << s;
+  std::cout << "\n\n";
+
+  // 3. Run FedAvg on an identical federation for comparison.
+  fl::Federation fed2(cfg);
+  fl::FedAvg fedavg(fed2);
+  const fl::Trace theirs = fedavg.run();
+
+  util::TablePrinter table("average local test accuracy (%)");
+  table.set_headers({"round", "FedClust", "FedAvg"});
+  for (std::size_t r = 0; r < ours.records.size(); r += 4) {
+    table.add_row(
+        {std::to_string(r + 1),
+         util::fmt_float(ours.records[r].avg_local_test_acc * 100, 1),
+         util::fmt_float(theirs.records[r].avg_local_test_acc * 100, 1)});
+  }
+  table.add_rule();
+  table.add_row({"final",
+                 util::fmt_float(ours.final_accuracy() * 100, 1),
+                 util::fmt_float(theirs.final_accuracy() * 100, 1)});
+  table.print();
+
+  std::cout << "\ncommunication: FedClust "
+            << util::fmt_float(ours.total_mb(), 2) << " Mb, FedAvg "
+            << util::fmt_float(theirs.total_mb(), 2) << " Mb\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "clustering/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace fedclust::clustering {
+
+namespace {
+
+double choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+double adjusted_rand_index(const std::vector<std::size_t>& a,
+                           const std::vector<std::size_t>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("adjusted_rand_index: size mismatch");
+  }
+  const std::size_t n = a.size();
+  if (n == 0) throw std::invalid_argument("adjusted_rand_index: empty");
+
+  // Contingency table.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> joint;
+  std::map<std::size_t, std::size_t> row_sum;
+  std::map<std::size_t, std::size_t> col_sum;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++joint[{a[i], b[i]}];
+    ++row_sum[a[i]];
+    ++col_sum[b[i]];
+  }
+
+  double sum_joint = 0.0;
+  for (const auto& [key, c] : joint) sum_joint += choose2(static_cast<double>(c));
+  double sum_rows = 0.0;
+  for (const auto& [key, c] : row_sum) sum_rows += choose2(static_cast<double>(c));
+  double sum_cols = 0.0;
+  for (const auto& [key, c] : col_sum) sum_cols += choose2(static_cast<double>(c));
+
+  const double total = choose2(static_cast<double>(n));
+  const double expected = sum_rows * sum_cols / total;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // both partitions trivial
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+double purity(const std::vector<std::size_t>& predicted,
+              const std::vector<std::size_t>& truth) {
+  if (predicted.size() != truth.size()) {
+    throw std::invalid_argument("purity: size mismatch");
+  }
+  if (predicted.empty()) throw std::invalid_argument("purity: empty");
+
+  std::map<std::size_t, std::map<std::size_t, std::size_t>> per_cluster;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    ++per_cluster[predicted[i]][truth[i]];
+  }
+  std::size_t hits = 0;
+  for (const auto& [cluster, counts] : per_cluster) {
+    std::size_t best = 0;
+    for (const auto& [label, c] : counts) best = std::max(best, c);
+    hits += best;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
+}  // namespace fedclust::clustering

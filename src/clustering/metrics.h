@@ -1,0 +1,21 @@
+#pragma once
+
+// External clustering-quality metrics, used by tests and by the ablation
+// benches (final-layer vs all-weights proximity, linkage choice).
+
+#include <cstddef>
+#include <vector>
+
+namespace fedclust::clustering {
+
+// Adjusted Rand Index between two labelings of the same items; 1 = identical
+// partitions, ~0 = random agreement. Labelings may use arbitrary ids.
+double adjusted_rand_index(const std::vector<std::size_t>& a,
+                           const std::vector<std::size_t>& b);
+
+// Fraction of items whose cluster's majority ground-truth label matches
+// their own.
+double purity(const std::vector<std::size_t>& predicted,
+              const std::vector<std::size_t>& truth);
+
+}  // namespace fedclust::clustering

@@ -1,0 +1,123 @@
+#include "core/fedclust.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "clustering/distance.h"
+#include "clustering/hierarchical.h"
+#include "fl/cluster_common.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace fedclust::core {
+
+FedClust::FedClust(fl::Federation& fed) : FlAlgorithm(fed) {}
+
+std::vector<float> FedClust::partial_weights_after_warmup(
+    const fl::SimClient& client, util::Rng rng) {
+  nn::Model& ws = fed_.workspace();
+  ws.set_flat_params(fed_.init_params());
+  fl::LocalTrainOptions warmup = fed_.cfg().local;
+  warmup.epochs = std::max<std::size_t>(1, fed_.cfg().algo.fedclust_init_epochs);
+  if (fed_.cfg().algo.fedclust_init_lr > 0.0f) {
+    warmup.lr = fed_.cfg().algo.fedclust_init_lr;
+  }
+  client.train(ws, warmup, rng);
+  return ws.classifier_params();
+}
+
+void FedClust::setup() {
+  const std::size_t n = fed_.n_clients();
+  const std::size_t p = fed_.model_size();
+
+  // Round 0: broadcast θ0 to every available client; each sends back only
+  // the updated final-layer weights.
+  std::vector<std::vector<float>> partials;
+  partials.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    fed_.comm().download_floats(p);
+    partials.push_back(partial_weights_after_warmup(
+        fed_.client(c), fed_.train_rng(c, 0xFEDC0000)));
+    fed_.comm().upload_floats(partials.back().size());
+  }
+
+  // Proximity matrix M (Eq. 3; cosine available for the metric ablation)
+  // and one-shot HC(M, λ).
+  const std::string& metric = fed_.cfg().algo.fedclust_distance;
+  if (metric == "l2") {
+    report_.proximity = clustering::l2_distance_matrix(partials);
+  } else if (metric == "cosine") {
+    report_.proximity = clustering::cosine_distance_matrix(partials);
+  } else {
+    throw std::invalid_argument("FedClust: unknown distance " + metric);
+  }
+  const auto dendro = clustering::agglomerative(
+      report_.proximity,
+      clustering::linkage_from_string(fed_.cfg().algo.fedclust_linkage));
+  if (fed_.cfg().algo.fedclust_k > 0) {
+    // Fixed cluster count requested (sweeps / fixed-k comparisons).
+    report_.assignment =
+        clustering::cut_to_k(dendro, fed_.cfg().algo.fedclust_k);
+    report_.effective_lambda = -1.0f;
+  } else {
+    float lambda = fed_.cfg().algo.fedclust_lambda;
+    if (lambda < 0.0f) lambda = clustering::gap_threshold(dendro);
+    report_.effective_lambda = lambda;
+    report_.assignment = clustering::cut_by_threshold(dendro, lambda);
+  }
+  report_.n_clusters = clustering::num_clusters(report_.assignment);
+
+  // Every cluster model starts from θ0 (Algorithm 1, line 7).
+  cluster_models_.assign(report_.n_clusters, fed_.init_params());
+
+  // Store per-cluster partial-weight centroids for newcomer matching.
+  cluster_partials_.assign(report_.n_clusters,
+                           std::vector<float>(partials.front().size(), 0.0f));
+  std::vector<std::size_t> counts(report_.n_clusters, 0);
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t k = report_.assignment[c];
+    tensor::axpy(1.0f, partials[c], cluster_partials_[k]);
+    ++counts[k];
+  }
+  for (std::size_t k = 0; k < report_.n_clusters; ++k) {
+    tensor::scale_(cluster_partials_[k],
+                   1.0f / static_cast<float>(counts[k]));
+  }
+
+  FC_LOG_DEBUG << "FedClust one-shot clustering: " << report_.n_clusters
+               << " clusters at lambda=" << fed_.cfg().algo.fedclust_lambda;
+}
+
+void FedClust::round(std::size_t r) {
+  fl::cluster_fedavg_round(fed_, r, report_.assignment, cluster_models_);
+}
+
+double FedClust::evaluate_all() {
+  return fl::cluster_average_accuracy(fed_, report_.assignment,
+                                      cluster_models_);
+}
+
+std::size_t FedClust::assign_newcomer(const fl::SimClient& newcomer,
+                                      util::Rng rng) {
+  if (cluster_partials_.empty()) {
+    throw std::logic_error("FedClust::assign_newcomer before setup");
+  }
+  // The newcomer receives θ0, trains briefly, and uploads partial weights.
+  fed_.comm().download_floats(fed_.model_size());
+  const auto partial = partial_weights_after_warmup(newcomer, rng);
+  fed_.comm().upload_floats(partial.size());
+
+  // Eq. 4: nearest stored cluster centroid in L2.
+  float best = std::numeric_limits<float>::infinity();
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < cluster_partials_.size(); ++k) {
+    const float d = tensor::l2_distance(partial, cluster_partials_[k]);
+    if (d < best) {
+      best = d;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace fedclust::core

@@ -1,0 +1,128 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedclust::data {
+
+namespace {
+
+// δ-fraction of the label space, at least 1 label.
+std::size_t labels_per_client(double skew_fraction, std::size_t num_classes) {
+  const auto l = static_cast<std::size_t>(
+      std::lround(skew_fraction * static_cast<double>(num_classes)));
+  return std::max<std::size_t>(1, std::min(l, num_classes));
+}
+
+std::vector<double> weights_from_label_set(
+    const std::vector<std::size_t>& label_set, std::size_t num_classes) {
+  std::vector<double> w(num_classes, 0.0);
+  for (const std::size_t l : label_set) {
+    w[l] = 1.0 / static_cast<double>(label_set.size());
+  }
+  return w;
+}
+
+void fill_dataset(Dataset& ds, std::size_t n,
+                  const std::vector<double>& label_weights,
+                  const SyntheticGenerator& gen, util::Rng& rng) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cls = static_cast<std::int64_t>(rng.categorical(label_weights));
+    ds.add(gen.sample(cls, rng), cls);
+  }
+}
+
+}  // namespace
+
+std::vector<ClientData> make_federated_data(const SyntheticSpec& spec,
+                                            const FederatedConfig& cfg,
+                                            std::uint64_t seed) {
+  if (cfg.n_clients == 0) {
+    throw std::invalid_argument("make_federated_data: zero clients");
+  }
+  if (cfg.partition != "skew" && cfg.partition != "dirichlet" &&
+      cfg.partition != "iid") {
+    throw std::invalid_argument("make_federated_data: unknown partition " +
+                                cfg.partition);
+  }
+
+  const SyntheticGenerator gen(spec, seed);
+  util::Rng root(seed ^ 0x5eedf00dULL);
+  util::Rng assign_rng = root.split(0);
+
+  // Pre-draw the label-set pool when ground-truth groups are requested.
+  std::vector<std::vector<double>> pool_weights;
+  if (cfg.label_set_pool > 0) {
+    for (std::size_t g = 0; g < cfg.label_set_pool; ++g) {
+      if (cfg.partition == "dirichlet") {
+        pool_weights.push_back(
+            assign_rng.dirichlet(cfg.dirichlet_alpha, spec.num_classes));
+      } else if (cfg.partition == "skew") {
+        const auto set = assign_rng.sample_without_replacement(
+            spec.num_classes,
+            labels_per_client(cfg.skew_fraction, spec.num_classes));
+        pool_weights.push_back(
+            weights_from_label_set(set, spec.num_classes));
+      } else {  // iid pool degenerates to uniform
+        pool_weights.emplace_back(spec.num_classes,
+                                  1.0 / static_cast<double>(spec.num_classes));
+      }
+    }
+  }
+
+  std::vector<ClientData> clients;
+  clients.reserve(cfg.n_clients);
+  for (std::size_t i = 0; i < cfg.n_clients; ++i) {
+    ClientData cd{Dataset(spec.channels, spec.hw, spec.num_classes),
+                  Dataset(spec.channels, spec.hw, spec.num_classes),
+                  {},
+                  i};
+    if (cfg.label_set_pool > 0) {
+      cd.group_id = static_cast<std::size_t>(assign_rng.randint(
+          0, static_cast<std::int64_t>(cfg.label_set_pool)));
+      cd.label_weights = pool_weights[cd.group_id];
+    } else if (cfg.partition == "skew") {
+      const auto set = assign_rng.sample_without_replacement(
+          spec.num_classes,
+          labels_per_client(cfg.skew_fraction, spec.num_classes));
+      cd.label_weights = weights_from_label_set(set, spec.num_classes);
+    } else if (cfg.partition == "dirichlet") {
+      cd.label_weights =
+          assign_rng.dirichlet(cfg.dirichlet_alpha, spec.num_classes);
+    } else {  // iid
+      cd.label_weights.assign(spec.num_classes,
+                              1.0 / static_cast<double>(spec.num_classes));
+    }
+
+    // Per-client stream: client data never depends on other clients.
+    util::Rng data_rng = root.split(1000 + i);
+    std::size_t n_train = cfg.train_per_client;
+    if (cfg.quantity_skew_factor > 1.0) {
+      // Log-uniform draw keeps the geometric mean at train_per_client.
+      const double lo = std::log(1.0 / cfg.quantity_skew_factor);
+      const double hi = std::log(cfg.quantity_skew_factor);
+      n_train = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(
+                 static_cast<double>(cfg.train_per_client) *
+                 std::exp(assign_rng.uniform(lo, hi)))));
+    } else if (cfg.quantity_skew_factor < 1.0) {
+      throw std::invalid_argument(
+          "make_federated_data: quantity_skew_factor must be >= 1");
+    }
+    fill_dataset(cd.train, n_train, cd.label_weights, gen, data_rng);
+    fill_dataset(cd.test, cfg.test_per_client, cd.label_weights, gen,
+                 data_rng);
+    clients.push_back(std::move(cd));
+  }
+  return clients;
+}
+
+std::vector<std::size_t> group_ids(const std::vector<ClientData>& clients) {
+  std::vector<std::size_t> ids;
+  ids.reserve(clients.size());
+  for (const auto& c : clients) ids.push_back(c.group_id);
+  return ids;
+}
+
+}  // namespace fedclust::data

@@ -1,0 +1,33 @@
+#include "fl/algorithm.h"
+
+#include "util/logging.h"
+
+namespace fedclust::fl {
+
+Trace FlAlgorithm::run() {
+  Trace trace;
+  trace.method = name();
+  trace.dataset = fed_.cfg().data_spec.name;
+
+  setup();
+  const std::size_t rounds = fed_.cfg().rounds;
+  const std::size_t every = std::max<std::size_t>(1, fed_.cfg().eval_every);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    round(r);
+    if (r % every == 0 || r + 1 == rounds) {
+      RoundRecord rec;
+      rec.round = r;
+      rec.avg_local_test_acc = evaluate_all();
+      rec.bytes_up = fed_.comm().bytes_up();
+      rec.bytes_down = fed_.comm().bytes_down();
+      rec.n_clusters = current_clusters();
+      trace.records.push_back(rec);
+      FC_LOG_DEBUG << name() << "/" << trace.dataset << " round " << r
+                   << " acc=" << rec.avg_local_test_acc
+                   << " clusters=" << rec.n_clusters;
+    }
+  }
+  return trace;
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,44 @@
+#pragma once
+
+// FlAlgorithm: the template-method harness every FL method implements.
+// run() drives the round loop, snapshots communication counters, and
+// records the evaluation trace, so each algorithm only writes setup(),
+// round(), and evaluate_all().
+
+#include <memory>
+#include <string>
+
+#include "fl/federation.h"
+#include "fl/metrics.h"
+
+namespace fedclust::fl {
+
+class FlAlgorithm {
+ public:
+  explicit FlAlgorithm(Federation& fed) : fed_(fed) {}
+  virtual ~FlAlgorithm() = default;
+
+  FlAlgorithm(const FlAlgorithm&) = delete;
+  FlAlgorithm& operator=(const FlAlgorithm&) = delete;
+
+  virtual std::string name() const = 0;
+
+  // Executes setup() once, then cfg().rounds rounds; evaluates every
+  // cfg().eval_every rounds (and always after the last round).
+  Trace run();
+
+ protected:
+  // One-shot work before the round loop (e.g. FedClust's clustering round,
+  // PACFL's subspace exchange). Communication it causes is accounted.
+  virtual void setup() {}
+  // One communication round (round index is 0-based).
+  virtual void round(std::size_t r) = 0;
+  // Mean local-test accuracy over every client (paper's headline metric).
+  virtual double evaluate_all() = 0;
+  // Cluster count to record this round (1 for non-clustered methods).
+  virtual std::size_t current_clusters() const { return 1; }
+
+  Federation& fed_;
+};
+
+}  // namespace fedclust::fl

@@ -1,0 +1,131 @@
+#include "fl/cfl.h"
+
+#include <cmath>
+
+#include "clustering/distance.h"
+#include "clustering/hierarchical.h"
+#include "fl/cluster_common.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace fedclust::fl {
+
+Cfl::Cfl(Federation& fed) : FlAlgorithm(fed) {}
+
+void Cfl::setup() {
+  assignment_.assign(fed_.n_clients(), 0);
+  cluster_models_ = {fed_.init_params()};
+}
+
+void Cfl::round(std::size_t r) {
+  const auto sampled = fed_.sample_round(r);
+  nn::Model& ws = fed_.workspace();
+  const std::size_t p = fed_.model_size();
+
+  // Per-cluster training on the sampled clients, keeping the raw updates
+  // around for the split criterion.
+  std::vector<std::vector<std::vector<float>>> updates(
+      cluster_models_.size());
+  std::vector<std::vector<double>> weights(cluster_models_.size());
+  std::vector<std::vector<float>> deltas_norms(cluster_models_.size());
+
+  for (const std::size_t c : sampled) {
+    const std::size_t k = assignment_[c];
+    fed_.comm().download_floats(p);
+    ws.set_flat_params(cluster_models_[k]);
+    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
+    fed_.comm().upload_floats(p);
+    updates[k].push_back(ws.flat_params());
+    weights[k].push_back(static_cast<double>(fed_.client(c).n_train()));
+  }
+
+  std::vector<std::size_t> to_split;
+  for (std::size_t k = 0; k < cluster_models_.size(); ++k) {
+    if (updates[k].empty()) continue;
+
+    // Update norms relative to the aggregate: Sattler's congruence check.
+    std::vector<std::vector<float>> deltas;
+    for (const auto& w : updates[k]) {
+      std::vector<float> d(p);
+      for (std::size_t j = 0; j < p; ++j) d[j] = w[j] - cluster_models_[k][j];
+      deltas.push_back(std::move(d));
+    }
+    std::vector<float> mean_delta(p, 0.0f);
+    for (const auto& d : deltas) {
+      tensor::axpy(1.0f / static_cast<float>(deltas.size()), d, mean_delta);
+    }
+    float max_norm = 0.0f;
+    float avg_norm = 0.0f;
+    for (const auto& d : deltas) {
+      const float n = tensor::nrm2(d);
+      max_norm = std::max(max_norm, n);
+      avg_norm += n / static_cast<float>(deltas.size());
+    }
+    const float mean_norm = tensor::nrm2(mean_delta);
+
+    // Aggregate as usual.
+    std::vector<std::pair<const std::vector<float>*, double>> entries;
+    for (std::size_t i = 0; i < updates[k].size(); ++i) {
+      entries.emplace_back(&updates[k][i], weights[k][i]);
+    }
+    cluster_models_[k] = weighted_average(entries);
+
+    // Congruence criterion (norms normalized by the average client update
+    // so the thresholds are scale-free): near-stationary mean with large
+    // individual updates means the cluster hosts incongruent populations.
+    const float eps1 = fed_.cfg().algo.cfl_eps1;
+    const float eps2 = fed_.cfg().algo.cfl_eps2;
+    std::size_t members = 0;
+    for (const std::size_t a : assignment_) members += a == k;
+    if (avg_norm > 0.0f && deltas.size() >= 2 && members >= 4 &&
+        mean_norm < eps1 * avg_norm && max_norm > eps2 * avg_norm) {
+      to_split.push_back(k);
+    }
+  }
+
+  for (const std::size_t k : to_split) split_cluster(k, r);
+}
+
+void Cfl::split_cluster(std::size_t k, std::size_t round) {
+  // Full participation of cluster k: every member computes an update from
+  // the cluster model so the server can bipartition all of them.
+  std::vector<std::size_t> members;
+  for (std::size_t c = 0; c < fed_.n_clients(); ++c) {
+    if (assignment_[c] == k) members.push_back(c);
+  }
+  if (members.size() < 2) return;
+
+  nn::Model& ws = fed_.workspace();
+  const std::size_t p = fed_.model_size();
+  std::vector<std::vector<float>> deltas;
+  for (const std::size_t c : members) {
+    fed_.comm().download_floats(p);
+    ws.set_flat_params(cluster_models_[k]);
+    fed_.client(c).train(ws, fed_.cfg().local,
+                         fed_.train_rng(c, 0xCF1000 + round));
+    fed_.comm().upload_floats(p);
+    auto w = ws.flat_params();
+    for (std::size_t j = 0; j < p; ++j) w[j] -= cluster_models_[k][j];
+    deltas.push_back(std::move(w));
+  }
+
+  // Complete-linkage bipartition of 1 - cos(delta_i, delta_j), the optimal
+  // bipartition heuristic from Sattler's reference implementation.
+  const auto dist = clustering::cosine_distance_matrix(deltas);
+  const auto halves = clustering::cut_to_k(
+      clustering::agglomerative(dist, clustering::Linkage::kComplete), 2);
+
+  const std::size_t new_k = cluster_models_.size();
+  cluster_models_.push_back(cluster_models_[k]);  // both halves inherit
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (halves[i] == 1) assignment_[members[i]] = new_k;
+  }
+  FC_LOG_DEBUG << "CFL split cluster " << k << " (" << members.size()
+               << " members) at round " << round;
+}
+
+double Cfl::evaluate_all() {
+  return cluster_average_accuracy(fed_, assignment_, cluster_models_);
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,44 @@
+#pragma once
+
+// Clustered Federated Learning (Sattler et al., 2020): recursive cosine-
+// similarity bi-partitioning.
+//
+// All clients start in one cluster training a shared model. When a
+// cluster's updates are simultaneously (a) near-stationary on average and
+// (b) individually large — i.e. clients pull hard in cancelling directions —
+// the cluster is split in two by complete-linkage bipartition of the
+// pairwise cosine similarities of the updates. Splitting requires updates
+// from *every* member, so a split round forces full participation of that
+// cluster (communication accounted), which is exactly why CFL is expensive
+// in the paper's comparison.
+
+#include "fl/algorithm.h"
+
+namespace fedclust::fl {
+
+class Cfl : public FlAlgorithm {
+ public:
+  explicit Cfl(Federation& fed);
+
+  std::string name() const override { return "CFL"; }
+
+  const std::vector<std::size_t>& assignment() const { return assignment_; }
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+  std::size_t current_clusters() const override {
+    return cluster_models_.size();
+  }
+
+ private:
+  // Collects w_i - cluster_model for every member of cluster k (full
+  // participation), then bipartitions by cosine similarity.
+  void split_cluster(std::size_t k, std::size_t round);
+
+  std::vector<std::size_t> assignment_;
+  std::vector<std::vector<float>> cluster_models_;
+};
+
+}  // namespace fedclust::fl

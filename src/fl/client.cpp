@@ -1,0 +1,88 @@
+#include "fl/client.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace fedclust::fl {
+
+SimClient::SimClient(std::size_t id, data::Dataset train, data::Dataset test)
+    : id_(id), train_(std::move(train)), test_(std::move(test)) {
+  if (train_.empty()) {
+    throw std::invalid_argument("SimClient: empty training set");
+  }
+}
+
+std::size_t SimClient::local_steps(const LocalTrainOptions& opts) const {
+  const std::size_t batches =
+      (train_.size() + opts.batch_size - 1) / opts.batch_size;
+  return batches * opts.epochs;
+}
+
+float SimClient::train(nn::Model& model, const LocalTrainOptions& opts,
+                       util::Rng rng, const std::vector<float>* prox_ref,
+                       const std::vector<float>* grad_offset) const {
+  nn::Sgd opt(model.parameters(),
+              {.lr = opts.lr,
+               .momentum = opts.momentum,
+               .weight_decay = opts.weight_decay,
+               .clip_grad_norm = opts.clip_grad_norm,
+               .prox_mu = prox_ref != nullptr ? opts.prox_mu : 0.0f});
+  if (prox_ref != nullptr && opts.prox_mu != 0.0f) {
+    opt.set_prox_reference(*prox_ref);
+  }
+  if (grad_offset != nullptr) opt.set_grad_offset(*grad_offset);
+
+  std::vector<std::size_t> order(train_.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  float epoch_loss = 0.0f;
+  for (std::size_t e = 0; e < opts.epochs; ++e) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t n_batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += opts.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + opts.batch_size);
+      const std::vector<std::size_t> batch(order.begin() +
+                                               static_cast<std::ptrdiff_t>(
+                                                   start),
+                                           order.begin() +
+                                               static_cast<std::ptrdiff_t>(
+                                                   end));
+      const auto images = train_.batch_images(batch);
+      const auto labels = train_.batch_labels(batch);
+      opt.zero_grad();
+      const auto logits = model.forward(images, /*train=*/true);
+      const auto lr = nn::softmax_cross_entropy(logits, labels);
+      model.backward(lr.grad_logits);
+      opt.step();
+      loss_sum += lr.loss;
+      ++n_batches;
+    }
+    epoch_loss = static_cast<float>(loss_sum /
+                                    static_cast<double>(n_batches));
+  }
+  return epoch_loss;
+}
+
+double SimClient::evaluate(nn::Model& model) const {
+  if (test_.empty()) return 0.0;
+  std::vector<std::size_t> all(test_.size());
+  std::iota(all.begin(), all.end(), 0);
+  const auto logits = model.forward(test_.batch_images(all));
+  return nn::accuracy(logits, test_.batch_labels(all));
+}
+
+float SimClient::train_loss(nn::Model& model) const {
+  std::vector<std::size_t> all(train_.size());
+  std::iota(all.begin(), all.end(), 0);
+  const auto logits = model.forward(train_.batch_images(all));
+  // A fresh LossResult only for the scalar; the gradient is discarded.
+  return nn::softmax_cross_entropy(logits, train_.batch_labels(all)).loss;
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,55 @@
+#include "fl/cluster_common.h"
+
+#include <stdexcept>
+
+namespace fedclust::fl {
+
+void cluster_fedavg_round(Federation& fed, std::size_t round,
+                          const std::vector<std::size_t>& assignment,
+                          std::vector<std::vector<float>>& cluster_models) {
+  if (assignment.size() != fed.n_clients()) {
+    throw std::invalid_argument("cluster_fedavg_round: bad assignment size");
+  }
+  const auto sampled = fed.sample_round(round);
+  nn::Model& ws = fed.workspace();
+  const std::size_t p = fed.model_size();
+
+  // cluster -> (params, weight) gathered this round.
+  std::vector<std::vector<std::vector<float>>> updates(cluster_models.size());
+  std::vector<std::vector<double>> weights(cluster_models.size());
+
+  for (const std::size_t c : sampled) {
+    const std::size_t k = assignment[c];
+    if (k >= cluster_models.size()) {
+      throw std::invalid_argument("cluster_fedavg_round: assignment OOB");
+    }
+    // Client announces its cluster id (negligible) and receives that
+    // cluster's model.
+    fed.comm().download_floats(p);
+    ws.set_flat_params(cluster_models[k]);
+    fed.client(c).train(ws, fed.cfg().local, fed.train_rng(c, round));
+    fed.comm().upload_floats(p);
+    updates[k].push_back(ws.flat_params());
+    weights[k].push_back(static_cast<double>(fed.client(c).n_train()));
+  }
+
+  for (std::size_t k = 0; k < cluster_models.size(); ++k) {
+    if (updates[k].empty()) continue;  // no member sampled: model unchanged
+    std::vector<std::pair<const std::vector<float>*, double>> entries;
+    for (std::size_t i = 0; i < updates[k].size(); ++i) {
+      entries.emplace_back(&updates[k][i], weights[k][i]);
+    }
+    cluster_models[k] = weighted_average(entries);
+  }
+}
+
+double cluster_average_accuracy(
+    Federation& fed, const std::vector<std::size_t>& assignment,
+    const std::vector<std::vector<float>>& cluster_models) {
+  return fed.average_local_accuracy(
+      [&](std::size_t i) -> const std::vector<float>& {
+        return cluster_models[assignment[i]];
+      });
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,27 @@
+#pragma once
+
+// Shared steady-state machinery for clustered methods (FedClust, PACFL,
+// IFCA's aggregation step): once clients carry cluster ids, every round is
+// per-cluster FedAvg over the sampled clients.
+
+#include <cstddef>
+#include <vector>
+
+#include "fl/federation.h"
+
+namespace fedclust::fl {
+
+// Runs one communication round: each sampled client downloads the model of
+// its assigned cluster, trains locally, uploads; each cluster that received
+// updates is replaced by the n_i-weighted average. Communication is
+// accounted (full model down + up per sampled client).
+void cluster_fedavg_round(Federation& fed, std::size_t round,
+                          const std::vector<std::size_t>& assignment,
+                          std::vector<std::vector<float>>& cluster_models);
+
+// Mean local-test accuracy where each client evaluates its cluster's model.
+double cluster_average_accuracy(
+    Federation& fed, const std::vector<std::size_t>& assignment,
+    const std::vector<std::vector<float>>& cluster_models);
+
+}  // namespace fedclust::fl

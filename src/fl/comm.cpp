@@ -1,0 +1,3 @@
+#include "fl/comm.h"
+
+// Header-only for now; this TU anchors the target.

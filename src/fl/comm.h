@@ -1,0 +1,36 @@
+#pragma once
+
+// First-class communication accounting. Every parameter transfer in the
+// simulator goes through a CommTracker, so Table 5's "Mb to reach target
+// accuracy" is measured, not estimated.
+
+#include <cstdint>
+
+namespace fedclust::fl {
+
+class CommTracker {
+ public:
+  // Client -> server transfer of n float32 values.
+  void upload_floats(std::uint64_t n) { bytes_up_ += n * 4; }
+  // Server -> client transfer.
+  void download_floats(std::uint64_t n) { bytes_down_ += n * 4; }
+
+  std::uint64_t bytes_up() const { return bytes_up_; }
+  std::uint64_t bytes_down() const { return bytes_down_; }
+  std::uint64_t bytes_total() const { return bytes_up_ + bytes_down_; }
+  // Megabits, the unit of the paper's Table 5.
+  double total_mb() const {
+    return static_cast<double>(bytes_total()) * 8.0 / 1e6;
+  }
+
+  void reset() {
+    bytes_up_ = 0;
+    bytes_down_ = 0;
+  }
+
+ private:
+  std::uint64_t bytes_up_ = 0;
+  std::uint64_t bytes_down_ = 0;
+};
+
+}  // namespace fedclust::fl

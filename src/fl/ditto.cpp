@@ -1,0 +1,54 @@
+#include "fl/ditto.h"
+
+namespace fedclust::fl {
+
+Ditto::Ditto(Federation& fed, float lambda)
+    : FlAlgorithm(fed), lambda_(lambda) {}
+
+void Ditto::setup() {
+  global_ = fed_.init_params();
+  personal_.assign(fed_.n_clients(), fed_.init_params());
+}
+
+void Ditto::round(std::size_t r) {
+  const auto sampled = fed_.sample_round(r);
+  nn::Model& ws = fed_.workspace();
+  const std::size_t p = fed_.model_size();
+
+  std::vector<std::vector<float>> updates;
+  std::vector<double> weights;
+  for (const std::size_t c : sampled) {
+    fed_.comm().download_floats(p);
+
+    // (1) Global-objective step: plain FedAvg local training.
+    ws.set_flat_params(global_);
+    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
+    updates.push_back(ws.flat_params());
+    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
+    fed_.comm().upload_floats(p);
+
+    // (2) Personal-objective step: prox-regularized training of v_i toward
+    // the global model it just downloaded. Stays on-device: no extra comm.
+    LocalTrainOptions prox_opts = fed_.cfg().local;
+    prox_opts.prox_mu = lambda_;
+    ws.set_flat_params(personal_[c]);
+    fed_.client(c).train(ws, prox_opts, fed_.train_rng(c, 0xD177000 + r),
+                         &global_);
+    personal_[c] = ws.flat_params();
+  }
+
+  std::vector<std::pair<const std::vector<float>*, double>> entries;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    entries.emplace_back(&updates[i], weights[i]);
+  }
+  global_ = weighted_average(entries);
+}
+
+double Ditto::evaluate_all() {
+  return fed_.average_local_accuracy(
+      [this](std::size_t i) -> const std::vector<float>& {
+        return personal_[i];
+      });
+}
+
+}  // namespace fedclust::fl

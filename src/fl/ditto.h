@@ -1,0 +1,37 @@
+#pragma once
+
+// Ditto (Li et al., 2021) — extension baseline (cited as [20] in the
+// paper). A global model is trained exactly as FedAvg; in parallel every
+// client keeps a *personal* model v_i trained on its own data with a
+// proximal pull toward the current global model:
+//   v_i <- v_i - lr (grad f_i(v_i) + lambda (v_i - w_global)).
+// Evaluation uses the personal models, so Ditto interpolates between Local
+// (lambda -> 0) and the global model (lambda -> inf).
+
+#include "fl/algorithm.h"
+
+namespace fedclust::fl {
+
+class Ditto : public FlAlgorithm {
+ public:
+  explicit Ditto(Federation& fed, float lambda = 0.5f);
+
+  std::string name() const override { return "Ditto"; }
+
+  const std::vector<float>& global_params() const { return global_; }
+  const std::vector<float>& personal_params(std::size_t client) const {
+    return personal_.at(client);
+  }
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+
+ private:
+  float lambda_;
+  std::vector<float> global_;
+  std::vector<std::vector<float>> personal_;
+};
+
+}  // namespace fedclust::fl

@@ -1,0 +1,34 @@
+#pragma once
+
+// FedAvg (McMahan et al., 2017) and FedProx (Li et al., 2020).
+//
+// FedProx is FedAvg with a proximal term μ/2 ||w - w_global||^2 added to
+// every client's local objective, so it shares this implementation with the
+// proximal coefficient switched on.
+
+#include "fl/algorithm.h"
+
+namespace fedclust::fl {
+
+class FedAvg : public FlAlgorithm {
+ public:
+  // prox_mu > 0 turns this into FedProx.
+  explicit FedAvg(Federation& fed, float prox_mu = 0.0f);
+
+  std::string name() const override {
+    return prox_mu_ > 0.0f ? "FedProx" : "FedAvg";
+  }
+
+  const std::vector<float>& global_params() const { return global_; }
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+
+ private:
+  float prox_mu_;
+  std::vector<float> global_;
+};
+
+}  // namespace fedclust::fl

@@ -1,0 +1,65 @@
+#include "fl/feddyn.h"
+
+namespace fedclust::fl {
+
+FedDyn::FedDyn(Federation& fed, float alpha)
+    : FlAlgorithm(fed), alpha_(alpha) {}
+
+void FedDyn::setup() {
+  global_ = fed_.init_params();
+  h_client_.assign(fed_.n_clients(),
+                   std::vector<float>(fed_.model_size(), 0.0f));
+  h_server_.assign(fed_.model_size(), 0.0);
+}
+
+void FedDyn::round(std::size_t r) {
+  const auto sampled = fed_.sample_round(r);
+  nn::Model& ws = fed_.workspace();
+  const std::size_t p = fed_.model_size();
+
+  // The dynamic regularizer decomposes into a constant gradient offset
+  // (-h_i) plus a proximal pull toward theta with coefficient alpha — both
+  // supported natively by the optimizer.
+  LocalTrainOptions opts = fed_.cfg().local;
+  opts.prox_mu = alpha_;
+
+  std::vector<std::vector<float>> updates;
+  std::vector<double> weights;
+  for (const std::size_t c : sampled) {
+    fed_.comm().download_floats(p);
+    std::vector<float> offset(p);
+    for (std::size_t j = 0; j < p; ++j) offset[j] = -h_client_[c][j];
+    ws.set_flat_params(global_);
+    fed_.client(c).train(ws, opts, fed_.train_rng(c, r), &global_, &offset);
+    const auto local = ws.flat_params();
+    for (std::size_t j = 0; j < p; ++j) {
+      h_client_[c][j] -= alpha_ * (local[j] - global_[j]);
+    }
+    fed_.comm().upload_floats(p);
+    updates.push_back(local);
+    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
+  }
+
+  std::vector<std::pair<const std::vector<float>*, double>> entries;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    entries.emplace_back(&updates[i], weights[i]);
+  }
+  const auto mean_w = weighted_average(entries);
+
+  // h <- h - alpha * (|S|/N) * (mean(w_i) - theta); theta <- mean - h/alpha.
+  const double frac = static_cast<double>(sampled.size()) /
+                      static_cast<double>(fed_.n_clients());
+  for (std::size_t j = 0; j < p; ++j) {
+    h_server_[j] -=
+        alpha_ * frac * (static_cast<double>(mean_w[j]) - global_[j]);
+    global_[j] =
+        mean_w[j] - static_cast<float>(h_server_[j] / alpha_);
+  }
+}
+
+double FedDyn::evaluate_all() {
+  return fed_.average_local_accuracy(
+      [this](std::size_t) -> const std::vector<float>& { return global_; });
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,37 @@
+#pragma once
+
+// FedDyn (Acar et al., 2021) — extension baseline beyond the paper's
+// comparison (discussed in its §2.1). Each client minimizes a dynamically
+// regularized objective
+//   f_i(w) - <h_i, w> + (alpha/2) ||w - theta||^2
+// whose stationary points align the local and global optima; h_i is the
+// client's lagged gradient state, updated after each participation as
+//   h_i <- h_i - alpha (w_i - theta).
+// The server keeps the running mean of all corrections and sets
+//   theta <- mean(w_i) - h / alpha.
+
+#include "fl/algorithm.h"
+
+namespace fedclust::fl {
+
+class FedDyn : public FlAlgorithm {
+ public:
+  explicit FedDyn(Federation& fed, float alpha = 0.1f);
+
+  std::string name() const override { return "FedDyn"; }
+
+  const std::vector<float>& global_params() const { return global_; }
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+
+ private:
+  float alpha_;
+  std::vector<float> global_;
+  std::vector<std::vector<float>> h_client_;  // persistent per client
+  std::vector<double> h_server_;              // running mean of corrections
+};
+
+}  // namespace fedclust::fl

@@ -1,0 +1,119 @@
+#include "fl/federation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedclust::fl {
+
+namespace {
+
+std::vector<SimClient> build_clients(std::vector<data::ClientData> data) {
+  std::vector<SimClient> clients;
+  clients.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    clients.emplace_back(i, std::move(data[i].train),
+                         std::move(data[i].test));
+  }
+  return clients;
+}
+
+}  // namespace
+
+Federation::Federation(ExperimentConfig cfg)
+    : Federation(cfg, data::make_federated_data(cfg.data_spec, cfg.fed,
+                                                cfg.seed)) {}
+
+Federation::Federation(ExperimentConfig cfg,
+                       std::vector<data::ClientData> data)
+    : cfg_(std::move(cfg)),
+      clients_(build_clients(std::move(data))),
+      workspace_(nn::build_model(cfg_.model, cfg_.seed)) {
+  if (clients_.empty()) {
+    throw std::invalid_argument("Federation: no clients");
+  }
+  init_params_ = workspace_.flat_params();
+}
+
+nn::Model Federation::make_model(std::uint64_t salt) const {
+  return nn::build_model(cfg_.model, cfg_.seed ^ (salt * 0x9e3779b9ULL + 1));
+}
+
+std::vector<std::size_t> Federation::sample_round(std::size_t round) const {
+  const std::size_t n = clients_.size();
+  const auto want = static_cast<std::size_t>(
+      cfg_.sample_fraction * static_cast<double>(n));
+  const std::size_t k = std::clamp<std::size_t>(want, 1, n);
+  util::Rng rng = util::Rng(cfg_.seed).split(0xA11CE000ULL + round);
+  auto ids = rng.sample_without_replacement(n, k);
+  if (cfg_.dropout_prob > 0.0) {
+    std::vector<std::size_t> survivors;
+    for (const std::size_t id : ids) {
+      if (rng.uniform() >= cfg_.dropout_prob) survivors.push_back(id);
+    }
+    // Clients who quit "have no impact" (paper §4.2), but a round needs at
+    // least one participant to aggregate anything.
+    if (survivors.empty()) survivors.push_back(ids.front());
+    ids = std::move(survivors);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+util::Rng Federation::train_rng(std::size_t client, std::size_t round) const {
+  return util::Rng(cfg_.seed).split(0xC11E47000000ULL + client * 100003 +
+                                    round);
+}
+
+double Federation::average_local_accuracy(
+    const std::function<const std::vector<float>&(std::size_t)>& params_of) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    workspace_.set_flat_params(params_of(i));
+    sum += clients_[i].evaluate(workspace_);
+  }
+  return sum / static_cast<double>(clients_.size());
+}
+
+std::vector<double> Federation::local_accuracy_distribution(
+    const std::function<const std::vector<float>&(std::size_t)>& params_of) {
+  std::vector<double> accs(clients_.size());
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    workspace_.set_flat_params(params_of(i));
+    accs[i] = clients_[i].evaluate(workspace_);
+  }
+  return accs;
+}
+
+std::vector<float> weighted_average(
+    const std::vector<std::pair<const std::vector<float>*, double>>&
+        entries) {
+  if (entries.empty()) {
+    throw std::invalid_argument("weighted_average: no entries");
+  }
+  const std::size_t dim = entries.front().first->size();
+  double total_weight = 0.0;
+  for (const auto& [vec, w] : entries) {
+    if (vec->size() != dim) {
+      throw std::invalid_argument("weighted_average: length mismatch");
+    }
+    if (w < 0.0) {
+      throw std::invalid_argument("weighted_average: negative weight");
+    }
+    total_weight += w;
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("weighted_average: zero total weight");
+  }
+  // Accumulate in double: averaging ~10 vectors of ~10^5 floats.
+  std::vector<double> acc(dim, 0.0);
+  for (const auto& [vec, w] : entries) {
+    const double f = w / total_weight;
+    const auto& v = *vec;
+    for (std::size_t i = 0; i < dim; ++i) acc[i] += f * v[i];
+  }
+  std::vector<float> out(dim);
+  for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(acc[i]);
+  return out;
+}
+
+}  // namespace fedclust::fl

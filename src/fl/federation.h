@@ -1,0 +1,141 @@
+#pragma once
+
+// Federation: the shared simulation substrate every algorithm runs on —
+// the client population, the common initial model θ0, deterministic RNG
+// streams, client sampling, communication accounting, and evaluation
+// helpers.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/partition.h"
+#include "fl/client.h"
+#include "fl/comm.h"
+#include "nn/model_zoo.h"
+
+namespace fedclust::fl {
+
+// Per-algorithm hyperparameters (paper §5.1 "Hyperparameters Settings",
+// re-tuned where the reduced scale demands it; see EXPERIMENTS.md).
+struct AlgoOptions {
+  float prox_mu = 0.01f;  // FedProx
+
+  // LG-FedAvg: how many trailing Parameter tensors are globally shared
+  // (4 = weight+bias of the last two Linear layers, the paper's "2 global
+  // layers").
+  std::size_t lg_global_params = 4;
+
+  // Per-FedAvg (first-order MAML).
+  float perfedavg_alpha = 0.03f;
+  float perfedavg_beta = 0.03f;
+  std::size_t perfedavg_eval_epochs = 1;
+
+  // CFL (Sattler): split when mean-update norm < eps1 while the max client
+  // update norm > eps2 (norms relative to the cluster-model norm).
+  float cfl_eps1 = 0.4f;
+  float cfl_eps2 = 0.6f;
+
+  std::size_t ifca_k = 4;
+
+  // PACFL: p principal vectors per class; HC threshold on the summed
+  // principal angle (degrees, < 0 = data-driven largest gap); pacfl_k > 0
+  // bypasses the threshold and cuts to exactly k clusters.
+  std::size_t pacfl_p = 3;
+  float pacfl_threshold_deg = 10.0f;
+  std::size_t pacfl_k = 0;
+
+  // FedClust: clustering threshold λ (Algorithm 1) on the L2 distance
+  // between final-layer weights, linkage for HC, and how long clients train
+  // before uploading their partial weights in round 0. λ < 0 selects the
+  // data-driven largest-gap threshold. fedclust_k > 0 bypasses λ entirely
+  // and cuts the dendrogram to exactly k clusters (used by sweeps and by
+  // IFCA-style fixed-k comparisons).
+  float fedclust_lambda = 1.0f;
+  std::size_t fedclust_k = 0;
+  std::string fedclust_linkage = "average";
+  // Proximity metric over the partial weights: "l2" (Eq. 3 of the paper)
+  // or "cosine" (1 - cosine similarity) for the metric ablation.
+  std::string fedclust_distance = "l2";
+  std::size_t fedclust_init_epochs = 1;
+  // Learning rate for the round-0 warmup (0 = reuse local.lr). A slightly
+  // hotter warmup amplifies the label-ownership signal in the classifier
+  // weights relative to sampling noise.
+  float fedclust_init_lr = 0.0f;
+};
+
+struct ExperimentConfig {
+  data::SyntheticSpec data_spec;
+  data::FederatedConfig fed;
+  nn::ModelSpec model;
+  LocalTrainOptions local;
+  AlgoOptions algo;
+
+  std::size_t rounds = 40;
+  double sample_fraction = 0.1;  // R in Algorithm 1
+  std::size_t eval_every = 1;    // evaluate-all cadence (rounds)
+  // Probability that a sampled client drops out of the round before
+  // returning its update (unreliable-communication simulation, paper §4.2).
+  // At least one sampled client always survives so every round aggregates.
+  double dropout_prob = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class Federation {
+ public:
+  // Synthesizes the client population from cfg.fed / cfg.data_spec.
+  explicit Federation(ExperimentConfig cfg);
+  // Injects pre-built client data (newcomer experiments hold some out).
+  Federation(ExperimentConfig cfg, std::vector<data::ClientData> data);
+
+  const ExperimentConfig& cfg() const { return cfg_; }
+  std::size_t n_clients() const { return clients_.size(); }
+  SimClient& client(std::size_t i) { return clients_.at(i); }
+  const SimClient& client(std::size_t i) const { return clients_.at(i); }
+
+  CommTracker& comm() { return comm_; }
+
+  // Shared initial parameters θ0 (identical across algorithms for a given
+  // seed, as in the paper's setup).
+  const std::vector<float>& init_params() const { return init_params_; }
+  std::size_t model_size() const { return init_params_.size(); }
+
+  // Fresh model with architecture cfg.model (weights seeded by salt).
+  nn::Model make_model(std::uint64_t salt) const;
+
+  // The reusable workspace model algorithms load parameters into.
+  nn::Model& workspace() { return workspace_; }
+
+  // max(R*N, 1) distinct client ids for the given round, minus dropouts
+  // (cfg().dropout_prob); deterministic in (seed, round), never empty.
+  std::vector<std::size_t> sample_round(std::size_t round) const;
+
+  // Deterministic RNG stream for (client, round) local training.
+  util::Rng train_rng(std::size_t client, std::size_t round) const;
+
+  // Mean local-test accuracy over all clients, where params_of(i) supplies
+  // the flat parameter vector client i should be evaluated with.
+  double average_local_accuracy(
+      const std::function<const std::vector<float>&(std::size_t)>& params_of);
+
+  // Per-client accuracy vector under the same protocol — the fairness view
+  // (accuracy dispersion across clients) used by the shootout example.
+  std::vector<double> local_accuracy_distribution(
+      const std::function<const std::vector<float>&(std::size_t)>& params_of);
+
+ private:
+  ExperimentConfig cfg_;
+  std::vector<SimClient> clients_;
+  CommTracker comm_;
+  nn::Model workspace_;
+  std::vector<float> init_params_;
+};
+
+// n_i-weighted average of client parameter vectors (FedAvg aggregation).
+// `entries` pairs each vector with its weight (sample count); weights are
+// normalized internally. Throws on empty input or length mismatch.
+std::vector<float> weighted_average(
+    const std::vector<std::pair<const std::vector<float>*, double>>& entries);
+
+}  // namespace fedclust::fl

@@ -1,0 +1,54 @@
+#include "fl/fednova.h"
+
+namespace fedclust::fl {
+
+FedNova::FedNova(Federation& fed) : FlAlgorithm(fed) {}
+
+void FedNova::setup() { global_ = fed_.init_params(); }
+
+void FedNova::round(std::size_t r) {
+  const auto sampled = fed_.sample_round(r);
+  nn::Model& ws = fed_.workspace();
+  const std::size_t p = fed_.model_size();
+
+  // Accumulate sum_i p_i d_i and tau_eff in one pass.
+  std::vector<double> direction(p, 0.0);
+  double total_weight = 0.0;
+  double tau_eff = 0.0;
+
+  std::vector<double> weights;
+  std::vector<double> taus;
+  std::vector<std::vector<float>> locals;
+  for (const std::size_t c : sampled) {
+    fed_.comm().download_floats(p);
+    ws.set_flat_params(global_);
+    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
+    fed_.comm().upload_floats(p);
+    locals.push_back(ws.flat_params());
+    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
+    taus.push_back(
+        static_cast<double>(fed_.client(c).local_steps(fed_.cfg().local)));
+    total_weight += weights.back();
+  }
+
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const double pi = weights[i] / total_weight;
+    tau_eff += pi * taus[i];
+    const double inv_tau = 1.0 / taus[i];
+    const auto& w = locals[i];
+    for (std::size_t j = 0; j < p; ++j) {
+      direction[j] +=
+          pi * inv_tau * (static_cast<double>(global_[j]) - w[j]);
+    }
+  }
+  for (std::size_t j = 0; j < p; ++j) {
+    global_[j] -= static_cast<float>(tau_eff * direction[j]);
+  }
+}
+
+double FedNova::evaluate_all() {
+  return fed_.average_local_accuracy(
+      [this](std::size_t) -> const std::vector<float>& { return global_; });
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,31 @@
+#pragma once
+
+// FedNova (Wang et al., 2020): normalized averaging that removes the
+// objective inconsistency caused by clients taking different numbers of
+// local steps. Each client i reports its normalized update direction
+// d_i = (w_global - w_i) / tau_i; the server applies
+//   w_global -= tau_eff * sum_i p_i d_i,   tau_eff = sum_i p_i tau_i,
+// with p_i the data-size weights.
+
+#include "fl/algorithm.h"
+
+namespace fedclust::fl {
+
+class FedNova : public FlAlgorithm {
+ public:
+  explicit FedNova(Federation& fed);
+
+  std::string name() const override { return "FedNova"; }
+
+  const std::vector<float>& global_params() const { return global_; }
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+
+ private:
+  std::vector<float> global_;
+};
+
+}  // namespace fedclust::fl

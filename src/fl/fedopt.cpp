@@ -1,0 +1,63 @@
+#include "fl/fedopt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedclust::fl {
+
+FedOpt::FedOpt(Federation& fed, FedOptOptions opts)
+    : FlAlgorithm(fed), opts_(std::move(opts)) {
+  if (opts_.server_opt != "momentum" && opts_.server_opt != "adam") {
+    throw std::invalid_argument("FedOpt: unknown server optimizer " +
+                                opts_.server_opt);
+  }
+}
+
+void FedOpt::setup() {
+  global_ = fed_.init_params();
+  m_.assign(fed_.model_size(), 0.0);
+  u_.assign(fed_.model_size(), 0.0);
+}
+
+void FedOpt::round(std::size_t r) {
+  const auto sampled = fed_.sample_round(r);
+  nn::Model& ws = fed_.workspace();
+  const std::size_t p = fed_.model_size();
+
+  std::vector<std::vector<float>> updates;
+  std::vector<double> weights;
+  for (const std::size_t c : sampled) {
+    fed_.comm().download_floats(p);
+    ws.set_flat_params(global_);
+    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
+    fed_.comm().upload_floats(p);
+    updates.push_back(ws.flat_params());
+    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
+  }
+  std::vector<std::pair<const std::vector<float>*, double>> entries;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    entries.emplace_back(&updates[i], weights[i]);
+  }
+  const auto mean_w = weighted_average(entries);
+
+  // Pseudo-gradient = aggregated movement away from the current global.
+  for (std::size_t j = 0; j < p; ++j) {
+    const double delta = static_cast<double>(mean_w[j]) - global_[j];
+    if (opts_.server_opt == "momentum") {
+      m_[j] = opts_.beta1 * m_[j] + delta;
+      global_[j] += static_cast<float>(opts_.server_lr * m_[j]);
+    } else {  // adam
+      m_[j] = opts_.beta1 * m_[j] + (1.0 - opts_.beta1) * delta;
+      u_[j] = opts_.beta2 * u_[j] + (1.0 - opts_.beta2) * delta * delta;
+      global_[j] += static_cast<float>(opts_.server_lr * m_[j] /
+                                       (std::sqrt(u_[j]) + opts_.tau));
+    }
+  }
+}
+
+double FedOpt::evaluate_all() {
+  return fed_.average_local_accuracy(
+      [this](std::size_t) -> const std::vector<float>& { return global_; });
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,48 @@
+#pragma once
+
+// FedOpt family (Reddi et al., 2021) — extension baselines: the server
+// treats the round's aggregated model delta as a pseudo-gradient and
+// applies a server-side optimizer to the global model.
+//
+//   FedAvgM: server momentum    v <- beta1 v + delta;        w += eta v
+//   FedAdam: server Adam        m <- b1 m + (1-b1) delta
+//                               u <- b2 u + (1-b2) delta^2
+//                               w += eta m / (sqrt(u) + tau)
+//
+// Both reduce to FedAvg for eta = 1 with momentum/Adam state disabled.
+
+#include "fl/algorithm.h"
+
+namespace fedclust::fl {
+
+struct FedOptOptions {
+  std::string server_opt = "momentum";  // "momentum" | "adam"
+  float server_lr = 1.0f;
+  float beta1 = 0.9f;
+  float beta2 = 0.99f;   // adam only
+  float tau = 1e-3f;     // adam epsilon
+};
+
+class FedOpt : public FlAlgorithm {
+ public:
+  FedOpt(Federation& fed, FedOptOptions opts);
+
+  std::string name() const override {
+    return opts_.server_opt == "adam" ? "FedAdam" : "FedAvgM";
+  }
+
+  const std::vector<float>& global_params() const { return global_; }
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+
+ private:
+  FedOptOptions opts_;
+  std::vector<float> global_;
+  std::vector<double> m_;  // momentum / first moment
+  std::vector<double> u_;  // second moment (adam)
+};
+
+}  // namespace fedclust::fl

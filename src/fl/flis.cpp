@@ -1,0 +1,71 @@
+#include "fl/flis.h"
+
+#include "clustering/distance.h"
+#include "clustering/hierarchical.h"
+#include "data/synthetic.h"
+#include "fl/cluster_common.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace fedclust::fl {
+
+Flis::Flis(Federation& fed, std::size_t proxy_per_class, std::size_t k)
+    : FlAlgorithm(fed), proxy_per_class_(proxy_per_class), k_(k) {}
+
+void Flis::setup() {
+  const auto& spec = fed_.cfg().data_spec;
+  const std::size_t n = fed_.n_clients();
+
+  // Server-side proxy data: a balanced IID sample from the same generator
+  // (the data-availability assumption the FedClust paper criticizes).
+  const data::SyntheticGenerator gen(spec, fed_.cfg().seed);
+  data::Dataset proxy(spec.channels, spec.hw, spec.num_classes);
+  util::Rng rng = util::Rng(fed_.cfg().seed).split(0xF115);
+  for (std::size_t c = 0; c < spec.num_classes; ++c) {
+    for (std::size_t i = 0; i < proxy_per_class_; ++i) {
+      proxy.add(gen.sample(static_cast<std::int64_t>(c), rng),
+                static_cast<std::int64_t>(c));
+    }
+  }
+  std::vector<std::size_t> all(proxy.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const auto proxy_images = proxy.batch_images(all);
+
+  // Each client warms up from θ0 and reports its softmax profile over the
+  // proxy set.
+  nn::Model& ws = fed_.workspace();
+  const std::size_t p = fed_.model_size();
+  std::vector<std::vector<float>> profiles;
+  profiles.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    fed_.comm().download_floats(p);
+    ws.set_flat_params(fed_.init_params());
+    fed_.client(c).train(ws, fed_.cfg().local,
+                         fed_.train_rng(c, 0xF1150000));
+    auto logits = ws.forward(proxy_images);
+    tensor::softmax_rows_(logits);
+    profiles.push_back(logits.vec());
+    fed_.comm().upload_floats(profiles.back().size());
+  }
+
+  const auto dist = clustering::cosine_distance_matrix(profiles);
+  const auto dendro =
+      clustering::agglomerative(dist, clustering::Linkage::kAverage);
+  assignment_ = k_ > 0
+                    ? clustering::cut_to_k(dendro, k_)
+                    : clustering::cut_by_threshold(
+                          dendro, clustering::gap_threshold(dendro));
+  cluster_models_.assign(clustering::num_clusters(assignment_),
+                         fed_.init_params());
+  FC_LOG_DEBUG << "FLIS formed " << cluster_models_.size() << " clusters";
+}
+
+void Flis::round(std::size_t r) {
+  cluster_fedavg_round(fed_, r, assignment_, cluster_models_);
+}
+
+double Flis::evaluate_all() {
+  return cluster_average_accuracy(fed_, assignment_, cluster_models_);
+}
+
+}  // namespace fedclust::fl

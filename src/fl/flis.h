@@ -1,0 +1,45 @@
+#pragma once
+
+// FLIS (Morafah et al., 2023) — extension baseline, cited as [29]. The
+// FedClust paper criticizes FLIS for assuming the server holds globally
+// shared proxy data; implementing it makes that trade-off measurable.
+//
+// One-shot variant: every client briefly trains θ0 on its own data (as in
+// FedClust round 0) but, instead of uploading weights, runs inference on
+// the server's proxy set and is clustered by the similarity of its
+// prediction profiles (HC on 1 - cosine of the concatenated softmax
+// outputs). Training then proceeds per cluster. Uploading per-proxy-sample
+// predictions costs proxy_size * num_classes floats per client.
+
+#include "fl/algorithm.h"
+#include "data/dataset.h"
+
+namespace fedclust::fl {
+
+class Flis : public FlAlgorithm {
+ public:
+  // proxy_per_class: server-side proxy samples synthesized per class
+  // (IID, from the same generator — the "globally shared data" assumption).
+  explicit Flis(Federation& fed, std::size_t proxy_per_class = 4,
+                std::size_t k = 0);
+
+  std::string name() const override { return "FLIS"; }
+
+  const std::vector<std::size_t>& assignment() const { return assignment_; }
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+  std::size_t current_clusters() const override {
+    return cluster_models_.size();
+  }
+
+ private:
+  std::size_t proxy_per_class_;
+  std::size_t k_;  // 0 = largest-gap threshold
+  std::vector<std::size_t> assignment_;
+  std::vector<std::vector<float>> cluster_models_;
+};
+
+}  // namespace fedclust::fl

@@ -1,0 +1,79 @@
+#include "fl/ifca.h"
+
+#include <limits>
+
+namespace fedclust::fl {
+
+Ifca::Ifca(Federation& fed) : FlAlgorithm(fed) {}
+
+void Ifca::setup() {
+  const std::size_t k = std::max<std::size_t>(1, fed_.cfg().algo.ifca_k);
+  models_.clear();
+  for (std::size_t i = 0; i < k; ++i) {
+    // Distinct random inits (i == 0 reuses θ0 so one arm matches the other
+    // methods' start).
+    models_.push_back(i == 0 ? fed_.init_params()
+                             : fed_.make_model(0x1FCA00 + i).flat_params());
+  }
+}
+
+std::size_t Ifca::select_cluster_for(const SimClient& client) {
+  nn::Model& ws = fed_.workspace();
+  float best = std::numeric_limits<float>::infinity();
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < models_.size(); ++k) {
+    ws.set_flat_params(models_[k]);
+    const float loss = client.train_loss(ws);
+    if (loss < best) {
+      best = loss;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+std::size_t Ifca::select_cluster(std::size_t c) {
+  return select_cluster_for(fed_.client(c));
+}
+
+void Ifca::round(std::size_t r) {
+  const auto sampled = fed_.sample_round(r);
+  nn::Model& ws = fed_.workspace();
+  const std::size_t p = fed_.model_size();
+
+  std::vector<std::vector<std::vector<float>>> updates(models_.size());
+  std::vector<std::vector<double>> weights(models_.size());
+
+  for (const std::size_t c : sampled) {
+    // The client needs every cluster model to choose: K model downloads.
+    fed_.comm().download_floats(p * models_.size());
+    const std::size_t k = select_cluster(c);
+    ws.set_flat_params(models_[k]);
+    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
+    fed_.comm().upload_floats(p);  // trained model + cluster id
+    updates[k].push_back(ws.flat_params());
+    weights[k].push_back(static_cast<double>(fed_.client(c).n_train()));
+  }
+
+  for (std::size_t k = 0; k < models_.size(); ++k) {
+    if (updates[k].empty()) continue;
+    std::vector<std::pair<const std::vector<float>*, double>> entries;
+    for (std::size_t i = 0; i < updates[k].size(); ++i) {
+      entries.emplace_back(&updates[k][i], weights[k][i]);
+    }
+    models_[k] = weighted_average(entries);
+  }
+}
+
+double Ifca::evaluate_all() {
+  // Each client evaluates with the cluster model it would select.
+  nn::Model& ws = fed_.workspace();
+  double sum = 0.0;
+  for (std::size_t c = 0; c < fed_.n_clients(); ++c) {
+    ws.set_flat_params(models_[select_cluster(c)]);
+    sum += fed_.client(c).evaluate(ws);
+  }
+  return sum / static_cast<double>(fed_.n_clients());
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,77 @@
+#include "fl/lg_fedavg.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedclust::fl {
+
+LgFedAvg::LgFedAvg(Federation& fed) : FlAlgorithm(fed) {}
+
+void LgFedAvg::setup() {
+  const auto& layout = fed_.workspace().param_layout();
+  const std::size_t n_global = fed_.cfg().algo.lg_global_params;
+  if (n_global == 0 || n_global > layout.size()) {
+    throw std::invalid_argument("LG: lg_global_params out of range");
+  }
+  global_offset_ = layout[layout.size() - n_global].offset;
+
+  // Paper §5.1: models are initialized randomly (per client) in LG for a
+  // fair comparison; only the shared suffix starts in sync.
+  params_.clear();
+  params_.reserve(fed_.n_clients());
+  const auto& init = fed_.init_params();
+  global_suffix_.assign(init.begin() +
+                            static_cast<std::ptrdiff_t>(global_offset_),
+                        init.end());
+  for (std::size_t c = 0; c < fed_.n_clients(); ++c) {
+    params_.push_back(fed_.make_model(1000 + c).flat_params());
+    std::copy(global_suffix_.begin(), global_suffix_.end(),
+              params_[c].begin() +
+                  static_cast<std::ptrdiff_t>(global_offset_));
+  }
+}
+
+void LgFedAvg::round(std::size_t r) {
+  const auto sampled = fed_.sample_round(r);
+  nn::Model& ws = fed_.workspace();
+  const std::size_t g = fed_.model_size() - global_offset_;
+
+  std::vector<std::vector<float>> suffixes;
+  std::vector<double> weights;
+
+  for (const std::size_t c : sampled) {
+    fed_.comm().download_floats(g);  // only the global layers move
+    std::copy(global_suffix_.begin(), global_suffix_.end(),
+              params_[c].begin() +
+                  static_cast<std::ptrdiff_t>(global_offset_));
+    ws.set_flat_params(params_[c]);
+    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
+    params_[c] = ws.flat_params();
+    fed_.comm().upload_floats(g);
+    suffixes.emplace_back(
+        params_[c].begin() + static_cast<std::ptrdiff_t>(global_offset_),
+        params_[c].end());
+    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
+  }
+
+  std::vector<std::pair<const std::vector<float>*, double>> entries;
+  for (std::size_t i = 0; i < suffixes.size(); ++i) {
+    entries.emplace_back(&suffixes[i], weights[i]);
+  }
+  global_suffix_ = weighted_average(entries);
+}
+
+double LgFedAvg::evaluate_all() {
+  return fed_.average_local_accuracy(
+      [this](std::size_t i) -> const std::vector<float>& {
+        eval_buf_ = params_[i];
+        // Each client evaluates with its local prefix + current global
+        // suffix, matching what it would download next round.
+        std::copy(global_suffix_.begin(), global_suffix_.end(),
+                  eval_buf_.begin() +
+                      static_cast<std::ptrdiff_t>(global_offset_));
+        return eval_buf_;
+      });
+}
+
+}  // namespace fedclust::fl

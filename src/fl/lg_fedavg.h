@@ -1,0 +1,37 @@
+#pragma once
+
+// LG-FedAvg (Liang et al., 2020): clients keep the lower (representation)
+// layers local and only share the top (global) layers. Communication per
+// round is just the global-layer parameters, which is what makes LG the
+// cheapest method in the paper's Table 5.
+
+#include "fl/algorithm.h"
+
+namespace fedclust::fl {
+
+class LgFedAvg : public FlAlgorithm {
+ public:
+  explicit LgFedAvg(Federation& fed);
+
+  std::string name() const override { return "LG"; }
+
+  std::size_t global_offset() const { return global_offset_; }
+  const std::vector<float>& global_suffix() const { return global_suffix_; }
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+
+ private:
+  // Offset into the flat vector where the globally shared suffix starts.
+  std::size_t global_offset_ = 0;
+  std::vector<float> global_suffix_;
+  // Per-client persistent full parameter vectors (their local prefix is
+  // what personalizes them).
+  std::vector<std::vector<float>> params_;
+  // Scratch for evaluate_all.
+  std::vector<float> eval_buf_;
+};
+
+}  // namespace fedclust::fl

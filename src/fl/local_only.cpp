@@ -1,0 +1,31 @@
+#include "fl/local_only.h"
+
+namespace fedclust::fl {
+
+LocalOnly::LocalOnly(Federation& fed) : FlAlgorithm(fed) {}
+
+void LocalOnly::setup() {
+  // All clients start from θ0, like every other method.
+  params_.assign(fed_.n_clients(), fed_.init_params());
+}
+
+void LocalOnly::round(std::size_t r) {
+  // Sampled clients run their local epochs on their own weights; the
+  // sampling keeps the total training effort per client comparable to the
+  // federated baselines. No bytes move.
+  nn::Model& ws = fed_.workspace();
+  for (const std::size_t c : fed_.sample_round(r)) {
+    ws.set_flat_params(params_[c]);
+    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
+    params_[c] = ws.flat_params();
+  }
+}
+
+double LocalOnly::evaluate_all() {
+  return fed_.average_local_accuracy(
+      [this](std::size_t i) -> const std::vector<float>& {
+        return params_[i];
+      });
+}
+
+}  // namespace fedclust::fl

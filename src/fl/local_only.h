@@ -1,0 +1,26 @@
+#pragma once
+
+// "Local" baseline: every client trains its own model on its own data with
+// no communication at all (the paper's pure-personalization anchor).
+
+#include "fl/algorithm.h"
+
+namespace fedclust::fl {
+
+class LocalOnly : public FlAlgorithm {
+ public:
+  explicit LocalOnly(Federation& fed);
+
+  std::string name() const override { return "Local"; }
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+
+ private:
+  // Per-client persistent parameters.
+  std::vector<std::vector<float>> params_;
+};
+
+}  // namespace fedclust::fl

@@ -1,0 +1,43 @@
+#pragma once
+
+// Per-round experiment traces. One Trace per (algorithm, dataset, setting)
+// run; Tables 1–3 read final_accuracy(), Table 4 rounds_to_accuracy(),
+// Table 5 mb_to_accuracy(), and Fig. 3 the raw per-round series.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedclust::fl {
+
+struct RoundRecord {
+  std::size_t round = 0;
+  // Mean top-1 accuracy of every client's personalized/cluster/global model
+  // on its own local test set — the paper's headline metric.
+  double avg_local_test_acc = 0.0;
+  // Cumulative communication at the end of this round.
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::size_t n_clusters = 1;
+};
+
+struct Trace {
+  std::string method;
+  std::string dataset;
+  std::vector<RoundRecord> records;
+
+  // Accuracy after the last round (0 if the trace is empty).
+  double final_accuracy() const;
+  // First round index (1-based, as the paper counts) whose accuracy reaches
+  // target; -1 if never reached.
+  int rounds_to_accuracy(double target) const;
+  // Cumulative Mb (megabits) at that round; -1 if never reached.
+  double mb_to_accuracy(double target) const;
+  // Total Mb at the end of the run.
+  double total_mb() const;
+  std::size_t final_clusters() const;
+
+  void save_csv(const std::string& path) const;
+};
+
+}  // namespace fedclust::fl

@@ -1,0 +1,101 @@
+#include "fl/pacfl.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "clustering/distance.h"
+#include "clustering/hierarchical.h"
+#include "fl/cluster_common.h"
+#include "linalg/principal_angles.h"
+#include "linalg/svd.h"
+#include "util/logging.h"
+
+namespace fedclust::fl {
+
+Pacfl::Pacfl(Federation& fed) : FlAlgorithm(fed) {}
+
+tensor::Tensor Pacfl::subspace_of(const data::Dataset& ds) const {
+  const std::size_t p = fed_.cfg().algo.pacfl_p;
+  const std::size_t d = ds.image_size();
+
+  // Concatenate top-p principal vectors of each present class, then
+  // orthonormalize the union into one basis.
+  std::vector<tensor::Tensor> pieces;
+  std::size_t total_cols = 0;
+  for (const auto cls : ds.present_labels()) {
+    const auto x = ds.class_matrix(cls, /*max_samples=*/64);
+    if (x.dim(1) == 0) continue;
+    auto u = linalg::truncated_left_singular(x, p);
+    total_cols += u.dim(1);
+    pieces.push_back(std::move(u));
+  }
+  tensor::Tensor basis({d, total_cols});
+  std::size_t col = 0;
+  for (const auto& u : pieces) {
+    for (std::size_t j = 0; j < u.dim(1); ++j, ++col) {
+      for (std::size_t i = 0; i < d; ++i) {
+        basis[i * total_cols + col] = u[i * u.dim(1) + j];
+      }
+    }
+  }
+  return linalg::orthonormalize_columns(basis);
+}
+
+void Pacfl::setup() {
+  const std::size_t n = fed_.n_clients();
+
+  // One-shot subspace exchange: each client uploads its basis. The bases
+  // are retained for newcomer matching.
+  bases_.clear();
+  bases_.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    bases_.push_back(subspace_of(fed_.client(c).train_data()));
+    fed_.comm().upload_floats(bases_.back().size());
+  }
+
+  const auto dist = clustering::distance_matrix(
+      n, [&](std::size_t i, std::size_t j) {
+        return linalg::principal_angle_distance_deg(bases_[i], bases_[j]);
+      });
+  const auto dendro =
+      clustering::agglomerative(dist, clustering::Linkage::kAverage);
+  if (fed_.cfg().algo.pacfl_k > 0) {
+    assignment_ = clustering::cut_to_k(dendro, fed_.cfg().algo.pacfl_k);
+  } else {
+    float threshold = fed_.cfg().algo.pacfl_threshold_deg;
+    if (threshold < 0.0f) threshold = clustering::gap_threshold(dendro);
+    assignment_ = clustering::cut_by_threshold(dendro, threshold);
+  }
+
+  const std::size_t k = clustering::num_clusters(assignment_);
+  cluster_models_.assign(k, fed_.init_params());
+  FC_LOG_DEBUG << "PACFL formed " << k << " clusters";
+}
+
+void Pacfl::round(std::size_t r) {
+  cluster_fedavg_round(fed_, r, assignment_, cluster_models_);
+}
+
+double Pacfl::evaluate_all() {
+  return cluster_average_accuracy(fed_, assignment_, cluster_models_);
+}
+
+std::size_t Pacfl::assign_newcomer(const SimClient& newcomer) {
+  if (bases_.empty()) {
+    throw std::logic_error("Pacfl::assign_newcomer before setup");
+  }
+  const tensor::Tensor basis = subspace_of(newcomer.train_data());
+  fed_.comm().upload_floats(basis.size());
+  float best = std::numeric_limits<float>::infinity();
+  std::size_t best_client = 0;
+  for (std::size_t c = 0; c < bases_.size(); ++c) {
+    const float d = linalg::principal_angle_distance_deg(basis, bases_[c]);
+    if (d < best) {
+      best = d;
+      best_client = c;
+    }
+  }
+  return assignment_[best_client];
+}
+
+}  // namespace fedclust::fl

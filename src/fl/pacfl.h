@@ -1,0 +1,50 @@
+#pragma once
+
+// PACFL (Vahidian et al., 2022): before any federation, each client runs a
+// truncated SVD per local class and sends the top-p principal vectors of
+// its raw data to the server. The server measures client similarity by the
+// principal angles between those subspaces, clusters with hierarchical
+// clustering, and then trains one model per cluster (per-cluster FedAvg).
+//
+// This is the strongest baseline in the paper; unlike FedClust it ships
+// (compressed) raw-data structure rather than trained weights.
+
+#include "fl/algorithm.h"
+#include "tensor/tensor.h"
+
+namespace fedclust::fl {
+
+class Pacfl : public FlAlgorithm {
+ public:
+  explicit Pacfl(Federation& fed);
+
+  std::string name() const override { return "PACFL"; }
+
+  const std::vector<std::size_t>& assignment() const { return assignment_; }
+  const std::vector<std::vector<float>>& cluster_models() const {
+    return cluster_models_;
+  }
+
+  // Newcomer incorporation: the client computes and uploads its subspace
+  // basis; it joins the cluster of the nearest existing client (smallest
+  // principal-angle distance). Must be called after setup ran.
+  std::size_t assign_newcomer(const SimClient& newcomer);
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+  std::size_t current_clusters() const override {
+    return cluster_models_.size();
+  }
+
+ private:
+  // Orthonormal basis of the given dataset's per-class principal vectors.
+  tensor::Tensor subspace_of(const data::Dataset& ds) const;
+
+  std::vector<std::size_t> assignment_;
+  std::vector<std::vector<float>> cluster_models_;
+  std::vector<tensor::Tensor> bases_;  // kept for newcomer matching
+};
+
+}  // namespace fedclust::fl

@@ -1,0 +1,103 @@
+#include "fl/perfedavg.h"
+
+#include <numeric>
+
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+
+namespace fedclust::fl {
+
+PerFedAvg::PerFedAvg(Federation& fed) : FlAlgorithm(fed) {}
+
+void PerFedAvg::setup() { meta_ = fed_.init_params(); }
+
+std::vector<float> PerFedAvg::maml_train(std::size_t c, std::size_t r,
+                                         const std::vector<float>& start) {
+  const auto& opts = fed_.cfg().local;
+  const float alpha = fed_.cfg().algo.perfedavg_alpha;
+  const float beta = fed_.cfg().algo.perfedavg_beta;
+  const SimClient& client = fed_.client(c);
+  const auto& ds = client.train_data();
+  nn::Model& ws = fed_.workspace();
+  util::Rng rng = fed_.train_rng(c, r);
+
+  std::vector<float> w = start;
+  std::vector<std::size_t> order(ds.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const auto batch_grad =
+      [&](const std::vector<std::size_t>& batch) -> std::vector<float> {
+    ws.zero_grad();
+    const auto logits = ws.forward(ds.batch_images(batch), /*train=*/true);
+    const auto lr = nn::softmax_cross_entropy(logits, ds.batch_labels(batch));
+    ws.backward(lr.grad_logits);
+    return ws.flat_grads();
+  };
+
+  for (std::size_t e = 0; e < opts.epochs; ++e) {
+    rng.shuffle(order);
+    // Consume the shuffled data in pairs of batches: the first drives the
+    // inner adaptation step, the second the meta update.
+    for (std::size_t start_idx = 0; start_idx + opts.batch_size <
+                                    order.size();
+         start_idx += 2 * opts.batch_size) {
+      const std::size_t mid =
+          std::min(order.size(), start_idx + opts.batch_size);
+      const std::size_t end = std::min(order.size(), mid + opts.batch_size);
+      const std::vector<std::size_t> b1(
+          order.begin() + static_cast<std::ptrdiff_t>(start_idx),
+          order.begin() + static_cast<std::ptrdiff_t>(mid));
+      const std::vector<std::size_t> b2(
+          order.begin() + static_cast<std::ptrdiff_t>(mid),
+          order.begin() + static_cast<std::ptrdiff_t>(end));
+      if (b2.empty()) break;
+
+      // Inner step: w' = w - alpha * grad_b1(w).
+      ws.set_flat_params(w);
+      const auto g1 = batch_grad(b1);
+      std::vector<float> adapted = w;
+      tensor::axpy(-alpha, g1, adapted);
+      // Meta step (first-order): w -= beta * grad_b2(w').
+      ws.set_flat_params(adapted);
+      const auto g2 = batch_grad(b2);
+      tensor::axpy(-beta, g2, w);
+    }
+  }
+  return w;
+}
+
+void PerFedAvg::round(std::size_t r) {
+  const auto sampled = fed_.sample_round(r);
+  const std::size_t p = fed_.model_size();
+
+  std::vector<std::vector<float>> updates;
+  std::vector<double> weights;
+  for (const std::size_t c : sampled) {
+    fed_.comm().download_floats(p);
+    updates.push_back(maml_train(c, r, meta_));
+    fed_.comm().upload_floats(p);
+    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
+  }
+  std::vector<std::pair<const std::vector<float>*, double>> entries;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    entries.emplace_back(&updates[i], weights[i]);
+  }
+  meta_ = weighted_average(entries);
+}
+
+double PerFedAvg::evaluate_all() {
+  // Personalize-then-evaluate: a few plain SGD epochs from the meta-model.
+  nn::Model& ws = fed_.workspace();
+  LocalTrainOptions fine = fed_.cfg().local;
+  fine.epochs = fed_.cfg().algo.perfedavg_eval_epochs;
+  fine.lr = fed_.cfg().algo.perfedavg_alpha;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < fed_.n_clients(); ++i) {
+    ws.set_flat_params(meta_);
+    fed_.client(i).train(ws, fine, fed_.train_rng(i, 0xEdA1));
+    sum += fed_.client(i).evaluate(ws);
+  }
+  return sum / static_cast<double>(fed_.n_clients());
+}
+
+}  // namespace fedclust::fl

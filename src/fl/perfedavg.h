@@ -1,0 +1,36 @@
+#pragma once
+
+// Per-FedAvg (Fallah et al., 2020), first-order variant: the server learns
+// a meta-initialization. Each local step takes an inner SGD step with rate
+// alpha on one batch, then applies the gradient evaluated at the adapted
+// point with meta rate beta. At evaluation time each client personalizes
+// the meta-model with a few epochs of plain SGD before testing.
+
+#include "fl/algorithm.h"
+
+namespace fedclust::fl {
+
+class PerFedAvg : public FlAlgorithm {
+ public:
+  explicit PerFedAvg(Federation& fed);
+
+  std::string name() const override { return "PerFedAvg"; }
+
+  const std::vector<float>& meta_params() const { return meta_; }
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+
+ private:
+  // One FO-MAML local pass for client c starting from `start`; returns the
+  // updated meta-parameters.
+  std::vector<float> maml_train(std::size_t c, std::size_t r,
+                                const std::vector<float>& start);
+
+  std::vector<float> meta_;
+  std::vector<float> eval_buf_;
+};
+
+}  // namespace fedclust::fl

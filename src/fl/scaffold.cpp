@@ -1,0 +1,75 @@
+#include "fl/scaffold.h"
+
+namespace fedclust::fl {
+
+Scaffold::Scaffold(Federation& fed) : FlAlgorithm(fed) {}
+
+void Scaffold::setup() {
+  global_ = fed_.init_params();
+  c_global_.assign(fed_.model_size(), 0.0f);
+  c_client_.assign(fed_.n_clients(),
+                   std::vector<float>(fed_.model_size(), 0.0f));
+}
+
+void Scaffold::round(std::size_t r) {
+  const auto sampled = fed_.sample_round(r);
+  nn::Model& ws = fed_.workspace();
+  const std::size_t p = fed_.model_size();
+  const auto& opts = fed_.cfg().local;
+
+  std::vector<std::vector<float>> updates;
+  std::vector<double> weights;
+  std::vector<double> dc(p, 0.0);  // accumulated variate delta
+
+  for (const std::size_t c : sampled) {
+    // Download: model + global control variate.
+    fed_.comm().download_floats(2 * p);
+
+    // Per-step corrected gradient: g + c_global - c_i.
+    std::vector<float> offset(p);
+    for (std::size_t j = 0; j < p; ++j) {
+      offset[j] = c_global_[j] - c_client_[c][j];
+    }
+    ws.set_flat_params(global_);
+    fed_.client(c).train(ws, opts, fed_.train_rng(c, r),
+                         /*prox_ref=*/nullptr, &offset);
+    const auto local = ws.flat_params();
+
+    // Option-II variate refresh: c_i' = c_i - c + (x - y_i)/(K * lr).
+    const double k_lr =
+        static_cast<double>(fed_.client(c).local_steps(opts)) * opts.lr;
+    for (std::size_t j = 0; j < p; ++j) {
+      const float ci_new = static_cast<float>(
+          c_client_[c][j] - c_global_[j] +
+          (static_cast<double>(global_[j]) - local[j]) / k_lr);
+      dc[j] += ci_new - c_client_[c][j];
+      c_client_[c][j] = ci_new;
+    }
+
+    // Upload: model + variate delta.
+    fed_.comm().upload_floats(2 * p);
+    updates.push_back(local);
+    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
+  }
+
+  std::vector<std::pair<const std::vector<float>*, double>> entries;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    entries.emplace_back(&updates[i], weights[i]);
+  }
+  global_ = weighted_average(entries);
+
+  // c += |S|/N * mean(dc).
+  const double scale = static_cast<double>(sampled.size()) /
+                       static_cast<double>(fed_.n_clients()) /
+                       static_cast<double>(sampled.size());
+  for (std::size_t j = 0; j < p; ++j) {
+    c_global_[j] += static_cast<float>(scale * dc[j]);
+  }
+}
+
+double Scaffold::evaluate_all() {
+  return fed_.average_local_accuracy(
+      [this](std::size_t) -> const std::vector<float>& { return global_; });
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,35 @@
+#pragma once
+
+// SCAFFOLD (Karimireddy et al., 2020) — extension baseline beyond the
+// paper's comparison (the paper discusses it in §2.1). Client drift under
+// non-IID data is corrected with control variates: the server keeps a
+// global variate c and every client a local variate c_i; local SGD steps
+// use g + c - c_i. After training, clients refresh
+//   c_i' = c_i - c + (x - y_i) / (K * lr)
+// and ship both the model and the variate delta (2x the communication of
+// FedAvg in each direction, which the CommTracker records).
+
+#include "fl/algorithm.h"
+
+namespace fedclust::fl {
+
+class Scaffold : public FlAlgorithm {
+ public:
+  explicit Scaffold(Federation& fed);
+
+  std::string name() const override { return "SCAFFOLD"; }
+
+  const std::vector<float>& global_params() const { return global_; }
+
+ protected:
+  void setup() override;
+  void round(std::size_t r) override;
+  double evaluate_all() override;
+
+ private:
+  std::vector<float> global_;
+  std::vector<float> c_global_;
+  std::vector<std::vector<float>> c_client_;  // persistent per client
+};
+
+}  // namespace fedclust::fl

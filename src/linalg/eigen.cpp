@@ -1,0 +1,105 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedclust::linalg {
+
+using tensor::Tensor;
+
+EigenResult symmetric_eigen(const tensor::Tensor& a, int max_sweeps,
+                            double tol) {
+  if (a.ndim() != 2 || a.dim(0) != a.dim(1)) {
+    throw std::invalid_argument("symmetric_eigen: matrix must be square");
+  }
+  const std::size_t n = a.dim(0);
+  // Symmetry check, scaled to the matrix magnitude.
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n * n; ++i) {
+    scale = std::max(scale, static_cast<double>(std::abs(a[i])));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::abs(a[i * n + j] - a[j * n + i]) > 1e-4 * (scale + 1.0)) {
+        throw std::invalid_argument("symmetric_eigen: matrix not symmetric");
+      }
+    }
+  }
+
+  // Work in double for accuracy; inputs/outputs stay float.
+  std::vector<double> m(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) m[i] = a[i];
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  const auto off_diag_norm = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        s += m[i * n + j] * m[i * n + j];
+      }
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  const double threshold = tol * (scale + 1.0) * static_cast<double>(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() <= threshold) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m[p * n + q];
+        if (std::abs(apq) <= threshold / static_cast<double>(n * n)) continue;
+        const double app = m[p * n + p];
+        const double aqq = m[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to rows/columns p, q of m.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mip = m[i * n + p];
+          const double miq = m[i * n + q];
+          m[i * n + p] = c * mip - s * miq;
+          m[i * n + q] = s * mip + c * miq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mpi = m[p * n + i];
+          const double mqi = m[q * n + i];
+          m[p * n + i] = c * mpi - s * mqi;
+          m[q * n + i] = s * mpi + c * mqi;
+        }
+        // Accumulate the eigenvector rotation.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v[i * n + p];
+          const double viq = v[i * n + q];
+          v[i * n + p] = c * vip - s * viq;
+          v[i * n + q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return m[x * n + x] > m[y * n + y];
+  });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Tensor({n, n});
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    result.values[j] = static_cast<float>(m[src * n + src]);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.vectors[i * n + j] = static_cast<float>(v[i * n + src]);
+    }
+  }
+  return result;
+}
+
+}  // namespace fedclust::linalg

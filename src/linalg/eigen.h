@@ -1,0 +1,26 @@
+#pragma once
+
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Sized for the simulator's needs: proximity/Gram matrices up to a few
+// hundred rows, where Jacobi's O(n^3) with tiny constants beats anything
+// fancier and is unconditionally stable.
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedclust::linalg {
+
+struct EigenResult {
+  // Eigenvalues in descending order.
+  std::vector<float> values;
+  // Column j of `vectors` is the eigenvector for values[j].
+  tensor::Tensor vectors;
+};
+
+// a must be square and symmetric (validated up to a small tolerance).
+EigenResult symmetric_eigen(const tensor::Tensor& a, int max_sweeps = 64,
+                            double tol = 1e-12);
+
+}  // namespace fedclust::linalg

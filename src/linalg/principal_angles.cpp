@@ -1,0 +1,42 @@
+#include "linalg/principal_angles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/svd.h"
+#include "tensor/gemm.h"
+
+namespace fedclust::linalg {
+
+std::vector<float> principal_angle_cosines(const tensor::Tensor& u1,
+                                           const tensor::Tensor& u2) {
+  if (u1.ndim() != 2 || u2.ndim() != 2 || u1.dim(0) != u2.dim(0)) {
+    throw std::invalid_argument(
+        "principal_angle_cosines: subspace bases must share ambient dim");
+  }
+  if (u1.dim(1) == 0 || u2.dim(1) == 0) return {};
+  // cos(theta_i) are the singular values of U1^T U2 (p x q, tiny).
+  const tensor::Tensor overlap =
+      tensor::matmul(u1, tensor::Trans::kYes, u2, tensor::Trans::kNo);
+  SvdResult svd = jacobi_svd(overlap);
+  const std::size_t r = std::min(u1.dim(1), u2.dim(1));
+  std::vector<float> cosines(svd.s.begin(),
+                             svd.s.begin() + static_cast<std::ptrdiff_t>(
+                                                 std::min(r, svd.s.size())));
+  for (auto& c : cosines) c = std::clamp(c, 0.0f, 1.0f);
+  return cosines;
+}
+
+float principal_angle_distance_deg(const tensor::Tensor& u1,
+                                   const tensor::Tensor& u2) {
+  const auto cosines = principal_angle_cosines(u1, u2);
+  double sum_deg = 0.0;
+  for (const float c : cosines) {
+    sum_deg += std::acos(static_cast<double>(c)) * 180.0 / std::numbers::pi;
+  }
+  return static_cast<float>(sum_deg);
+}
+
+}  // namespace fedclust::linalg

@@ -1,0 +1,25 @@
+#pragma once
+
+// Principal angles between subspaces, the similarity measure used by the
+// PACFL baseline (Vahidian et al., 2022): clients summarize their data by a
+// few principal vectors, and the server clusters on the angles between
+// those per-client subspaces.
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedclust::linalg {
+
+// u1 (d, p) and u2 (d, q) must have orthonormal columns. Returns the
+// cosines of the min(p, q) principal angles, in descending order (clamped
+// to [0, 1] against round-off).
+std::vector<float> principal_angle_cosines(const tensor::Tensor& u1,
+                                           const tensor::Tensor& u2);
+
+// PACFL's scalar proximity: the sum of principal angles in degrees (smaller
+// = more similar subspaces).
+float principal_angle_distance_deg(const tensor::Tensor& u1,
+                                   const tensor::Tensor& u2);
+
+}  // namespace fedclust::linalg

@@ -1,0 +1,173 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/eigen.h"
+#include "tensor/gemm.h"
+
+namespace fedclust::linalg {
+
+using tensor::Tensor;
+
+SvdResult jacobi_svd(const tensor::Tensor& a, int max_sweeps, double tol) {
+  if (a.ndim() != 2) throw std::invalid_argument("jacobi_svd: need 2-D");
+  const std::size_t m = a.dim(0);
+  const std::size_t n = a.dim(1);
+
+  // One-sided Jacobi wants columns as the working unit and m >= n; for wide
+  // matrices decompose the transpose and swap U/V.
+  if (m < n) {
+    Tensor at({n, m});
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) at[j * m + i] = a[i * n + j];
+    }
+    SvdResult r = jacobi_svd(at, max_sweeps, tol);
+    std::swap(r.u, r.v);
+    return r;
+  }
+
+  // Work on columns of a double copy: u (m, n), v accumulates rotations.
+  std::vector<double> u(m * n);
+  for (std::size_t i = 0; i < m * n; ++i) u[i] = a[i];
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) v[j * n + j] = 1.0;
+
+  const auto col_dot = [&](std::size_t p, std::size_t q) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < m; ++i) s += u[i * n + p] * u[i * n + q];
+    return s;
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double alpha = col_dot(p, p);
+        const double beta = col_dot(q, q);
+        const double gamma = col_dot(p, q);
+        if (std::abs(gamma) <= tol * std::sqrt(alpha * beta) + tol) continue;
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double uip = u[i * n + p];
+          const double uiq = u[i * n + q];
+          u[i * n + p] = c * uip - s * uiq;
+          u[i * n + q] = s * uip + c * uiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v[i * n + p];
+          const double viq = v[i * n + q];
+          v[i * n + p] = c * vip - s * viq;
+          v[i * n + q] = s * vip + c * viq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Singular values are column norms; normalize U's columns.
+  std::vector<double> sigma(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < m; ++i) s += u[i * n + j] * u[i * n + j];
+    sigma[j] = std::sqrt(s);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult result;
+  result.u = Tensor({m, n});
+  result.v = Tensor({n, n});
+  result.s.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    result.s[j] = static_cast<float>(sigma[src]);
+    const double inv = sigma[src] > 0.0 ? 1.0 / sigma[src] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      result.u[i * n + j] = static_cast<float>(u[i * n + src] * inv);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      result.v[i * n + j] = static_cast<float>(v[i * n + src]);
+    }
+  }
+  return result;
+}
+
+tensor::Tensor truncated_left_singular(const tensor::Tensor& x,
+                                       std::size_t k) {
+  if (x.ndim() != 2) {
+    throw std::invalid_argument("truncated_left_singular: need 2-D");
+  }
+  const std::size_t d = x.dim(0);
+  const std::size_t n = x.dim(1);
+  k = std::min(k, std::min(d, n));
+  if (k == 0) return Tensor({d, 0});
+
+  // Gram trick: X^T X = V S^2 V^T, then U = X V S^{-1}.
+  const Tensor gram = tensor::matmul(x, tensor::Trans::kYes, x,
+                                     tensor::Trans::kNo);  // (n, n)
+  const EigenResult eig = symmetric_eigen(gram);
+
+  // Count usable (numerically positive) eigenvalues among the top k.
+  const double cutoff =
+      1e-10 * (eig.values.empty() ? 1.0 : std::abs(eig.values[0])) + 1e-30;
+  std::size_t usable = 0;
+  while (usable < k && eig.values[usable] > cutoff) ++usable;
+
+  Tensor u({d, usable});
+  for (std::size_t j = 0; j < usable; ++j) {
+    const double inv_sigma = 1.0 / std::sqrt(eig.values[j]);
+    for (std::size_t i = 0; i < d; ++i) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        s += static_cast<double>(x[i * n + r]) * eig.vectors[r * n + j];
+      }
+      u[i * usable + j] = static_cast<float>(s * inv_sigma);
+    }
+  }
+  return u;
+}
+
+tensor::Tensor orthonormalize_columns(const tensor::Tensor& a, double tol) {
+  if (a.ndim() != 2) {
+    throw std::invalid_argument("orthonormalize_columns: need 2-D");
+  }
+  const std::size_t m = a.dim(0);
+  const std::size_t n = a.dim(1);
+  std::vector<std::vector<double>> cols;
+  cols.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> c(m);
+    for (std::size_t i = 0; i < m; ++i) c[i] = a[i * n + j];
+    // Modified Gram–Schmidt against the kept columns.
+    for (const auto& q : cols) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < m; ++i) proj += q[i] * c[i];
+      for (std::size_t i = 0; i < m; ++i) c[i] -= proj * q[i];
+    }
+    double norm = 0.0;
+    for (const double x : c) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm <= tol) continue;  // linearly dependent column: drop
+    for (auto& x : c) x /= norm;
+    cols.push_back(std::move(c));
+  }
+  Tensor q({m, cols.size()});
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      q[i * cols.size() + j] = static_cast<float>(cols[j][i]);
+    }
+  }
+  return q;
+}
+
+}  // namespace fedclust::linalg

@@ -1,0 +1,40 @@
+#pragma once
+
+// Singular value decompositions:
+//  * jacobi_svd — one-sided Jacobi, exact thin SVD for small matrices
+//    (principal-angle computations are on p x p matrices with p ~ 3).
+//  * truncated_left_singular — top-k left singular vectors of a tall
+//    (d, n) matrix via the Gram trick (eigendecomposition of the n x n
+//    Gram matrix), matching PACFL's truncated SVD of client data where
+//    n_samples << n_features is false but n_samples is modest (~100).
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedclust::linalg {
+
+struct SvdResult {
+  tensor::Tensor u;        // (m, r) left singular vectors (columns)
+  std::vector<float> s;    // r singular values, descending
+  tensor::Tensor v;        // (n, r) right singular vectors (columns)
+};
+
+// Thin SVD of an (m, n) matrix, r = min(m, n). One-sided Jacobi on columns;
+// intended for small matrices (n up to a few hundred).
+SvdResult jacobi_svd(const tensor::Tensor& a, int max_sweeps = 64,
+                     double tol = 1e-12);
+
+// Top-k left singular vectors (columns) of an (d, n) matrix X, computed from
+// the eigendecomposition of X^T X. k is clamped to the numerical rank;
+// returned matrix is (d, k') with k' <= k, columns orthonormal.
+tensor::Tensor truncated_left_singular(const tensor::Tensor& x, std::size_t k);
+
+// Modified Gram–Schmidt QR of the columns of a (m, n) matrix, in place on a
+// copy; returns the (m, n) Q factor. Columns that become numerically zero
+// are dropped, so Q may have fewer columns than A.
+tensor::Tensor orthonormalize_columns(const tensor::Tensor& a,
+                                      double tol = 1e-10);
+
+}  // namespace fedclust::linalg

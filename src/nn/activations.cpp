@@ -1,0 +1,54 @@
+#include "nn/activations.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedclust::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  if (train) {
+    mask_.assign(x.size(), false);
+    cached_shape_ = x.shape();
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > 0.0f) {
+      if (train) mask_[i] = true;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (mask_.size() != grad_out.size() || grad_out.shape() != cached_shape_) {
+    throw std::logic_error("relu: backward without matching forward");
+  }
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (!mask_[i]) g[i] = 0.0f;
+  }
+  return g;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  for (auto& v : y.vec()) v = std::tanh(v);
+  if (train) cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  if (cached_output_.shape() != grad_out.shape()) {
+    throw std::logic_error("tanh: backward without matching forward");
+  }
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const float t = cached_output_[i];
+    g[i] *= 1.0f - t * t;
+  }
+  return g;
+}
+
+}  // namespace fedclust::nn

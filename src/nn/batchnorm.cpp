@@ -1,0 +1,123 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedclust::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float eps, float momentum,
+                         std::string name)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      name_(std::move(name)),
+      gamma_(name_ + ".gamma", Tensor::full({channels}, 1.0f)),
+      beta_(name_ + ".beta", Tensor({channels})),
+      running_mean_(channels, 0.0f),
+      running_var_(channels, 1.0f) {}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  if (x.ndim() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument(name_ + ": expected (N, " +
+                                std::to_string(channels_) + ", H, W), got " +
+                                x.shape_str());
+  }
+  const std::size_t n = x.dim(0);
+  const std::size_t area = x.dim(2) * x.dim(3);
+  const std::size_t count = n * area;
+
+  Tensor y(x.shape());
+  Tensor xhat(x.shape());
+  std::vector<float> inv_stds(channels_);
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    float mean;
+    float var;
+    if (train) {
+      double sum = 0.0;
+      double sq = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* plane = x.data() + (i * channels_ + c) * area;
+        for (std::size_t p = 0; p < area; ++p) {
+          sum += plane[p];
+          sq += static_cast<double>(plane[p]) * plane[p];
+        }
+      }
+      mean = static_cast<float>(sum / static_cast<double>(count));
+      var = static_cast<float>(
+          std::max(sq / static_cast<double>(count) -
+                       static_cast<double>(mean) * mean,
+                   0.0));
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * mean;
+      running_var_[c] =
+          (1.0f - momentum_) * running_var_[c] + momentum_ * var;
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    inv_stds[c] = inv_std;
+    const float gm = gamma_.value[c];
+    const float bt = beta_.value[c];
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* in = x.data() + (i * channels_ + c) * area;
+      float* xh = xhat.data() + (i * channels_ + c) * area;
+      float* out = y.data() + (i * channels_ + c) * area;
+      for (std::size_t p = 0; p < area; ++p) {
+        const float h = (in[p] - mean) * inv_std;
+        xh[p] = h;
+        out[p] = gm * h + bt;
+      }
+    }
+  }
+
+  if (train) {
+    cached_xhat_ = std::move(xhat);
+    cached_inv_std_ = std::move(inv_stds);
+    cached_shape_ = x.shape();
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  if (cached_shape_.empty() || grad_out.shape() != cached_shape_) {
+    throw std::logic_error(name_ + ": backward without matching forward");
+  }
+  const std::size_t n = cached_shape_[0];
+  const std::size_t area = cached_shape_[2] * cached_shape_[3];
+  const std::size_t count = n * area;
+
+  Tensor grad_in(cached_shape_);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const float gm = gamma_.value[c];
+    double sum_gy = 0.0;
+    double sum_gy_xhat = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* gy = grad_out.data() + (i * channels_ + c) * area;
+      const float* xh = cached_xhat_.data() + (i * channels_ + c) * area;
+      for (std::size_t p = 0; p < area; ++p) {
+        sum_gy += gy[p];
+        sum_gy_xhat += static_cast<double>(gy[p]) * xh[p];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_gy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_gy);
+
+    const float mean_gy = static_cast<float>(sum_gy / count);
+    const float mean_gy_xhat = static_cast<float>(sum_gy_xhat / count);
+    const float inv_std = cached_inv_std_[c];
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* gy = grad_out.data() + (i * channels_ + c) * area;
+      const float* xh = cached_xhat_.data() + (i * channels_ + c) * area;
+      float* gx = grad_in.data() + (i * channels_ + c) * area;
+      for (std::size_t p = 0; p < area; ++p) {
+        gx[p] = gm * inv_std *
+                (gy[p] - mean_gy - xh[p] * mean_gy_xhat);
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace fedclust::nn

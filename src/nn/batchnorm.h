@@ -1,0 +1,47 @@
+#pragma once
+
+// BatchNorm2d with running statistics.
+//
+// Provided for completeness and for the GroupNorm-substitution ablation:
+// the model zoo deliberately uses GroupNorm (see norm.h) because BatchNorm
+// carries running mean/var that are extra per-client state — averaging them
+// across non-IID clients is exactly the failure mode the FL literature
+// warns about, and this layer lets downstream users reproduce it.
+//
+// Note: the running statistics are NOT part of parameters()/flat_params()
+// (they are buffers, not learnable weights), mirroring PyTorch. FL
+// averaging therefore silently ignores them — which is the pitfall.
+
+#include "nn/module.h"
+
+namespace fedclust::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f, std::string name = "bn");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return name_; }
+
+  const std::vector<float>& running_mean() const { return running_mean_; }
+  const std::vector<float>& running_var() const { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float eps_;
+  float momentum_;
+  std::string name_;
+  Parameter gamma_;
+  Parameter beta_;
+  std::vector<float> running_mean_;
+  std::vector<float> running_var_;
+
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;  // per channel
+  tensor::Shape cached_shape_;
+};
+
+}  // namespace fedclust::nn

@@ -1,0 +1,68 @@
+#include "nn/checkpoint.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/serialization.h"
+
+namespace fedclust::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xFEDC1057;
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_model(const Model& model, std::ostream& os) {
+  util::BinaryWriter w(os);
+  w.write_u32(kMagic);
+  w.write_u32(kVersion);
+  const auto& layout = model.param_layout();
+  w.write_u64(layout.size());
+  for (const auto& p : layout) {
+    w.write_string(p.name);
+    w.write_u64(p.size);
+  }
+  w.write_f32_vec(model.flat_params());
+}
+
+void load_model(Model& model, std::istream& is) {
+  util::BinaryReader r(is);
+  if (r.read_u32() != kMagic) {
+    throw std::runtime_error("load_model: not a fedclust checkpoint");
+  }
+  if (r.read_u32() != kVersion) {
+    throw std::runtime_error("load_model: unsupported checkpoint version");
+  }
+  const auto& layout = model.param_layout();
+  const std::uint64_t n = r.read_u64();
+  if (n != layout.size()) {
+    throw std::runtime_error("load_model: parameter count mismatch");
+  }
+  for (const auto& p : layout) {
+    const std::string name = r.read_string();
+    const std::uint64_t size = r.read_u64();
+    if (name != p.name || size != p.size) {
+      throw std::runtime_error("load_model: layout mismatch at " + p.name +
+                               " (checkpoint has " + name + ")");
+    }
+  }
+  const auto flat = r.read_f32_vec();
+  if (flat.size() != model.num_params()) {
+    throw std::runtime_error("load_model: flat parameter size mismatch");
+  }
+  model.set_flat_params(flat);
+}
+
+void save_model_file(const Model& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_model_file: cannot open " + path);
+  save_model(model, os);
+}
+
+void load_model_file(Model& model, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_model_file: cannot open " + path);
+  load_model(model, is);
+}
+
+}  // namespace fedclust::nn

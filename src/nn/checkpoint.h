@@ -1,0 +1,21 @@
+#pragma once
+
+// Model checkpointing: serializes the named parameter layout plus the flat
+// parameter vector. Loading validates that the checkpoint's layout matches
+// the target model (names and sizes), so architecture mismatches fail
+// loudly instead of silently loading garbage.
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/model.h"
+
+namespace fedclust::nn {
+
+void save_model(const Model& model, std::ostream& os);
+void load_model(Model& model, std::istream& is);
+
+void save_model_file(const Model& model, const std::string& path);
+void load_model_file(Model& model, const std::string& path);
+
+}  // namespace fedclust::nn

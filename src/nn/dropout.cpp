@@ -1,0 +1,41 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace fedclust::nn {
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  if (p < 0.0f || p >= 1.0f) {
+    throw std::invalid_argument("Dropout: p must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ == 0.0f) return x;
+  const float keep_scale = 1.0f / (1.0f - p_);
+  mask_.resize(x.size());
+  cached_shape_ = x.shape();
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (rng_.uniform() < p_) {
+      mask_[i] = 0.0f;
+      y[i] = 0.0f;
+    } else {
+      mask_[i] = keep_scale;
+      y[i] *= keep_scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (p_ == 0.0f) return grad_out;
+  if (mask_.size() != grad_out.size() || grad_out.shape() != cached_shape_) {
+    throw std::logic_error("dropout: backward without matching forward");
+  }
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= mask_[i];
+  return g;
+}
+
+}  // namespace fedclust::nn

@@ -1,0 +1,28 @@
+#pragma once
+
+// Inverted dropout: training zeroes activations with probability p and
+// scales survivors by 1/(1-p); evaluation is the identity. The layer owns
+// its RNG stream (seeded at construction) so training remains deterministic
+// for a fixed model seed.
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace fedclust::nn {
+
+class Dropout : public Module {
+ public:
+  explicit Dropout(float p, std::uint64_t seed = 0);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "dropout"; }
+
+ private:
+  float p_;
+  util::Rng rng_;
+  std::vector<float> mask_;  // 0 or 1/(1-p) per element
+  tensor::Shape cached_shape_;
+};
+
+}  // namespace fedclust::nn

@@ -1,0 +1,42 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace fedclust::nn {
+
+void kaiming_uniform_(Tensor& w, std::size_t fan_in, util::Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  for (auto& x : w.vec()) {
+    x = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+void bias_uniform_(Tensor& b, std::size_t fan_in, util::Rng& rng) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  for (auto& x : b.vec()) {
+    x = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+std::unique_ptr<Linear> make_linear(std::size_t in, std::size_t out,
+                                    util::Rng& rng, std::string name) {
+  auto layer = std::make_unique<Linear>(in, out, std::move(name));
+  kaiming_uniform_(layer->weight().value, in, rng);
+  bias_uniform_(layer->bias().value, in, rng);
+  return layer;
+}
+
+std::unique_ptr<Conv2d> make_conv(std::size_t in_c, std::size_t out_c,
+                                  std::size_t kernel, std::size_t stride,
+                                  std::size_t pad, util::Rng& rng,
+                                  std::string name) {
+  auto layer =
+      std::make_unique<Conv2d>(in_c, out_c, kernel, stride, pad,
+                               std::move(name));
+  const std::size_t fan_in = in_c * kernel * kernel;
+  kaiming_uniform_(layer->weight().value, fan_in, rng);
+  bias_uniform_(layer->parameters()[1]->value, fan_in, rng);
+  return layer;
+}
+
+}  // namespace fedclust::nn

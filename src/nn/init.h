@@ -1,0 +1,29 @@
+#pragma once
+
+// Weight initialization (Kaiming/He) and layer factory helpers that bundle
+// construction + initialization, keeping the model zoo terse.
+
+#include <memory>
+#include <string>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "util/rng.h"
+
+namespace fedclust::nn {
+
+// He-uniform: U(-b, b) with b = sqrt(6 / fan_in).
+void kaiming_uniform_(Tensor& w, std::size_t fan_in, util::Rng& rng);
+
+// PyTorch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in)).
+void bias_uniform_(Tensor& b, std::size_t fan_in, util::Rng& rng);
+
+std::unique_ptr<Linear> make_linear(std::size_t in, std::size_t out,
+                                    util::Rng& rng, std::string name);
+
+std::unique_ptr<Conv2d> make_conv(std::size_t in_c, std::size_t out_c,
+                                  std::size_t kernel, std::size_t stride,
+                                  std::size_t pad, util::Rng& rng,
+                                  std::string name);
+
+}  // namespace fedclust::nn

@@ -1,0 +1,74 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <stdexcept>
+
+#include "tensor/tensor_ops.h"
+
+namespace fedclust::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdOptions opts)
+    : params_(std::move(params)), opts_(opts) {
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    velocity_.emplace_back(p->value.shape());
+    total_size_ += p->value.size();
+  }
+}
+
+void Sgd::set_prox_reference(std::vector<float> ref) {
+  if (!ref.empty() && ref.size() != total_size_) {
+    throw std::invalid_argument("Sgd: prox reference size mismatch");
+  }
+  prox_ref_ = std::move(ref);
+}
+
+void Sgd::set_grad_offset(std::vector<float> offset) {
+  if (!offset.empty() && offset.size() != total_size_) {
+    throw std::invalid_argument("Sgd: grad offset size mismatch");
+  }
+  grad_offset_ = std::move(offset);
+}
+
+void Sgd::step() {
+  float clip_scale = 1.0f;
+  if (opts_.clip_grad_norm > 0.0f) {
+    double sq = 0.0;
+    for (const Parameter* p : params_) {
+      for (const float g : p->grad.vec()) {
+        sq += static_cast<double>(g) * g;
+      }
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > opts_.clip_grad_norm) {
+      clip_scale = static_cast<float>(opts_.clip_grad_norm / norm);
+    }
+  }
+  std::size_t offset = 0;
+  const bool use_prox = opts_.prox_mu != 0.0f && !prox_ref_.empty();
+  const bool use_offset = !grad_offset_.empty();
+  for (std::size_t t = 0; t < params_.size(); ++t) {
+    Parameter& p = *params_[t];
+    Tensor& v = velocity_[t];
+    const std::size_t n = p.value.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      float g = p.grad[i] * clip_scale;
+      if (use_offset) g += grad_offset_[offset + i];
+      if (opts_.weight_decay != 0.0f) g += opts_.weight_decay * p.value[i];
+      if (use_prox) g += opts_.prox_mu * (p.value[i] - prox_ref_[offset + i]);
+      if (opts_.momentum != 0.0f) {
+        v[i] = opts_.momentum * v[i] + g;
+        g = v[i];
+      }
+      p.value[i] -= opts_.lr * g;
+    }
+    offset += n;
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) tensor::fill_(p->grad, 0.0f);
+}
+
+}  // namespace fedclust::nn

@@ -1,0 +1,134 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace fedclust::tensor {
+
+namespace {
+
+// Panel sizes tuned for a ~32 KiB L1 / 1 MiB L2 scalar core.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockN = 64;
+constexpr std::size_t kBlockK = 128;
+
+// Below this many multiply-adds, thread dispatch costs more than it saves.
+constexpr std::size_t kParallelThreshold = 1u << 18;
+
+// Core kernel on a row range [m0, m1) with A in non-transposed (m, k)
+// layout and B in non-transposed (k, n) layout.
+void gemm_nn_range(std::size_t m0, std::size_t m1, std::size_t n,
+                   std::size_t k, float alpha, const float* a,
+                   std::size_t lda, const float* b, std::size_t ldb,
+                   float* c, std::size_t ldc) {
+  for (std::size_t ib = m0; ib < m1; ib += kBlockM) {
+    const std::size_t ie = std::min(m1, ib + kBlockM);
+    for (std::size_t kb = 0; kb < k; kb += kBlockK) {
+      const std::size_t ke = std::min(k, kb + kBlockK);
+      for (std::size_t jb = 0; jb < n; jb += kBlockN) {
+        const std::size_t je = std::min(n, jb + kBlockN);
+        for (std::size_t i = ib; i < ie; ++i) {
+          const float* __restrict arow = a + i * lda;
+          float* __restrict crow = c + i * ldc;
+          for (std::size_t p = kb; p < ke; ++p) {
+            const float av = alpha * arow[p];
+            if (av == 0.0f) continue;
+            const float* __restrict brow = b + p * ldb;
+            for (std::size_t j = jb; j < je; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Materializes op(X) into a contiguous row-major (rows, cols) buffer.
+std::vector<float> transpose_to(const float* x, std::size_t rows,
+                                std::size_t cols, std::size_t ldx) {
+  // Output is (rows, cols); input is (cols, rows) with leading dim ldx.
+  std::vector<float> out(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[r * cols + c] = x[c * ldx + r];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc) {
+  // Scale / clear C first so the kernel can be pure accumulation.
+  if (beta == 0.0f) {
+    for (std::size_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+    }
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  // Normalize to the NN case by materializing transposed operands. The
+  // copies are O(mk)/O(kn) against an O(mnk) kernel — negligible, and they
+  // keep the hot loop unit-stride.
+  std::vector<float> a_buf;
+  std::vector<float> b_buf;
+  const float* an = a;
+  std::size_t lda_n = lda;
+  if (trans_a == Trans::kYes) {
+    a_buf = transpose_to(a, m, k, lda);
+    an = a_buf.data();
+    lda_n = k;
+  }
+  const float* bn = b;
+  std::size_t ldb_n = ldb;
+  if (trans_b == Trans::kYes) {
+    b_buf = transpose_to(b, k, n, ldb);
+    bn = b_buf.data();
+    ldb_n = n;
+  }
+
+  if (m * n * k >= kParallelThreshold && util::global_pool().size() > 0) {
+    util::parallel_for_chunked(
+        0, m, [&](std::size_t lo, std::size_t hi) {
+          gemm_nn_range(lo, hi, n, k, alpha, an, lda_n, bn, ldb_n, c, ldc);
+        });
+  } else {
+    gemm_nn_range(0, m, n, k, alpha, an, lda_n, bn, ldb_n, c, ldc);
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  return matmul(a, Trans::kNo, b, Trans::kNo);
+}
+
+Tensor matmul(const Tensor& a, Trans trans_a, const Tensor& b,
+              Trans trans_b) {
+  if (a.ndim() != 2 || b.ndim() != 2) {
+    throw std::invalid_argument("matmul: expected 2-D tensors");
+  }
+  const std::size_t m = trans_a == Trans::kNo ? a.dim(0) : a.dim(1);
+  const std::size_t ka = trans_a == Trans::kNo ? a.dim(1) : a.dim(0);
+  const std::size_t kb = trans_b == Trans::kNo ? b.dim(0) : b.dim(1);
+  const std::size_t n = trans_b == Trans::kNo ? b.dim(1) : b.dim(0);
+  if (ka != kb) {
+    throw std::invalid_argument("matmul: inner dimension mismatch " +
+                                a.shape_str() + " x " + b.shape_str());
+  }
+  Tensor c({m, n});
+  gemm(trans_a, trans_b, m, n, ka, 1.0f, a.data(), a.dim(1), b.data(),
+       b.dim(1), 0.0f, c.data(), n);
+  return c;
+}
+
+}  // namespace fedclust::tensor

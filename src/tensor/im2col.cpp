@@ -1,0 +1,84 @@
+#include "tensor/im2col.h"
+
+#include <stdexcept>
+
+namespace fedclust::tensor {
+
+std::size_t conv_out_dim(std::size_t in, std::size_t kernel,
+                         std::size_t stride, std::size_t pad) {
+  const std::size_t padded = in + 2 * pad;
+  if (padded < kernel) {
+    throw std::invalid_argument("conv_out_dim: kernel larger than input");
+  }
+  return (padded - kernel) / stride + 1;
+}
+
+void im2col(const float* img, std::size_t c, std::size_t h, std::size_t w,
+            std::size_t kh, std::size_t kw, std::size_t stride,
+            std::size_t pad, float* col) {
+  const std::size_t oh = conv_out_dim(h, kh, stride, pad);
+  const std::size_t ow = conv_out_dim(w, kw, stride, pad);
+  const std::size_t out_area = oh * ow;
+  // Row r of col corresponds to (channel, ky, kx); column to (oy, ox).
+  std::size_t row = 0;
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float* plane = img + ch * h * w;
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx, ++row) {
+        float* out_row = col + row * out_area;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ky) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+            for (std::size_t ox = 0; ox < ow; ++ox) out_row[oy * ow + ox] = 0.0f;
+            continue;
+          }
+          const float* in_row = plane + static_cast<std::size_t>(iy) * w;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                static_cast<std::ptrdiff_t>(pad);
+            out_row[oy * ow + ox] =
+                (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w))
+                    ? 0.0f
+                    : in_row[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, std::size_t c, std::size_t h, std::size_t w,
+            std::size_t kh, std::size_t kw, std::size_t stride,
+            std::size_t pad, float* img) {
+  const std::size_t oh = conv_out_dim(h, kh, stride, pad);
+  const std::size_t ow = conv_out_dim(w, kw, stride, pad);
+  const std::size_t out_area = oh * ow;
+  std::size_t row = 0;
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    float* plane = img + ch * h * w;
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx, ++row) {
+        const float* in_row = col + row * out_area;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ky) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+          float* dst_row = plane + static_cast<std::size_t>(iy) * w;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                static_cast<std::ptrdiff_t>(pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+            dst_row[static_cast<std::size_t>(ix)] += in_row[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fedclust::tensor

@@ -1,0 +1,127 @@
+#include "util/serialization.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace fedclust::util {
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::write_u64(std::uint64_t v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::write_i64(std::int64_t v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::write_f32(float v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::write_f64(double v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+void BinaryWriter::write_f32_vec(const std::vector<float>& v) {
+  write_u64(v.size());
+  os_.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+void BinaryWriter::write_f64_vec(const std::vector<double>& v) {
+  write_u64(v.size());
+  os_.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+void BinaryReader::read_raw(void* dst, std::size_t n) {
+  is_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is_.gcount()) != n) {
+    throw std::runtime_error("BinaryReader: truncated stream");
+  }
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+float BinaryReader::read_f32() {
+  float v;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+double BinaryReader::read_f64() {
+  double v;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  std::string s(n, '\0');
+  if (n > 0) read_raw(s.data(), n);
+  return s;
+}
+std::vector<float> BinaryReader::read_f32_vec() {
+  const std::uint64_t n = read_u64();
+  std::vector<float> v(n);
+  if (n > 0) read_raw(v.data(), n * sizeof(float));
+  return v;
+}
+std::vector<double> BinaryReader::read_f64_vec() {
+  const std::uint64_t n = read_u64();
+  std::vector<double> v(n);
+  if (n > 0) read_raw(v.data(), n * sizeof(double));
+  return v;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+
+void append_line(const std::string& path,
+                 const std::vector<std::string>& cells, bool truncate) {
+  std::ofstream os(path, truncate ? std::ios::trunc : std::ios::app);
+  if (!os) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os << ',';
+    os << csv_escape(cells[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : path_(path), n_cols_(columns.size()) {
+  append_line(path_, columns, /*truncate=*/true);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != n_cols_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  append_line(path_, cells, /*truncate=*/false);
+}
+
+}  // namespace fedclust::util

@@ -1,0 +1,61 @@
+#pragma once
+
+// Binary (de)serialization for checkpoints and experiment traces, plus a
+// small CSV writer. Format is little-endian, host-order (the simulator only
+// ever reads its own output on the same machine).
+
+#include <cstdint>
+#include <ostream>
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace fedclust::util {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_vec(const std::vector<float>& v);
+  void write_f64_vec(const std::vector<double>& v);
+
+ private:
+  std::ostream& os_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is) : is_(is) {}
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_f32_vec();
+  std::vector<double> read_f64_vec();
+
+ private:
+  void read_raw(void* dst, std::size_t n);
+  std::istream& is_;
+};
+
+// Appends rows to a CSV file; writes the header on construction.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  std::string path_;
+  std::size_t n_cols_;
+};
+
+}  // namespace fedclust::util

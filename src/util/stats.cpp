@@ -1,0 +1,56 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedclust::util {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("mean of empty vector");
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (const double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) throw std::invalid_argument("median of empty vector");
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+std::size_t argmax(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("argmax of empty vector");
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+std::size_t argmin(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("argmin of empty vector");
+  return static_cast<std::size_t>(
+      std::min_element(v.begin(), v.end()) - v.begin());
+}
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace fedclust::util

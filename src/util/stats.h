@@ -1,0 +1,32 @@
+#pragma once
+
+// Small statistics helpers used across metrics and tests.
+
+#include <cstddef>
+#include <vector>
+
+namespace fedclust::util {
+
+double mean(const std::vector<double>& v);
+// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double stddev(const std::vector<double>& v);
+double median(std::vector<double> v);  // by value: sorts a copy
+std::size_t argmax(const std::vector<double>& v);
+std::size_t argmin(const std::vector<double>& v);
+
+// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace fedclust::util

@@ -1,0 +1,93 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace fedclust::util {
+
+std::string fmt_float(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pm(double mean, double std, int precision) {
+  return fmt_float(mean, precision) + " ± " + fmt_float(std, precision);
+}
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::set_headers(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::add_rule() { rows_.emplace_back(); }
+
+namespace {
+
+// Display width assuming UTF-8 where multi-byte sequences ("±", "×") render
+// one column wide.
+std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (const char c : s) {
+    if ((static_cast<unsigned char>(c) & 0xC0) != 0x80) ++w;
+  }
+  return w;
+}
+
+}  // namespace
+
+std::string TablePrinter::to_string() const {
+  std::size_t n_cols = headers_.size();
+  for (const auto& row : rows_) n_cols = std::max(n_cols, row.size());
+
+  std::vector<std::size_t> width(n_cols, 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = std::max(width[c], display_width(headers_[c]));
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], display_width(row[c]));
+    }
+  }
+
+  const auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      s += std::string(width[c] + 2, '-') + "+";
+    }
+    return s + "\n";
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      s += " " + cell + std::string(width[c] - display_width(cell) + 1, ' ') +
+           "|";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  os << rule;
+  if (!headers_.empty()) {
+    os << render_row(headers_) << rule;
+  }
+  for (const auto& row : rows_) {
+    os << (row.empty() ? rule : render_row(row));
+  }
+  os << rule;
+  return os.str();
+}
+
+void TablePrinter::print() const { std::cout << to_string() << std::flush; }
+
+}  // namespace fedclust::util

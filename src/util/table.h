@@ -1,0 +1,35 @@
+#pragma once
+
+// ASCII table rendering used by the benchmark harnesses to print
+// paper-style result tables.
+
+#include <string>
+#include <vector>
+
+namespace fedclust::util {
+
+// Fixed-precision float formatting helpers.
+std::string fmt_float(double v, int precision = 2);
+// "mean ± std" in the paper's table style.
+std::string fmt_pm(double mean, double std, int precision = 2);
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = "");
+
+  void set_headers(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> row);
+  // Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  std::string to_string() const;
+  void print() const;  // to stdout
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  // Rows; an empty row marks a rule.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fedclust::util

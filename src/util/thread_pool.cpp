@@ -1,0 +1,136 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "util/config.h"
+
+namespace fedclust::util {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::thread::hardware_concurrency();
+    if (n_threads == 0) n_threads = 1;
+  }
+  // The calling thread participates in parallel_for, so a pool of size n
+  // needs only n-1 workers to keep n chunks in flight.
+  const std::size_t n_workers = n_threads > 0 ? n_threads - 1 : 0;
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t n_chunks = std::min(n, workers_.size() + 1);
+  if (n_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> pending{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mu;
+  } shared;
+
+  const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
+  shared.pending.store(n_chunks - 1, std::memory_order_relaxed);
+
+  // Chunks 1..n_chunks-1 go to the workers; chunk 0 runs on this thread.
+  for (std::size_t c = 1; c < n_chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    submit([&shared, &fn, lo, hi] {
+      try {
+        if (lo < hi) fn(lo, hi);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(shared.error_mu);
+        if (!shared.error) shared.error = std::current_exception();
+      }
+      if (shared.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard<std::mutex> lock(shared.done_mu);
+        shared.done_cv.notify_one();
+      }
+    });
+  }
+
+  try {
+    fn(begin, std::min(end, begin + chunk));
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(shared.error_mu);
+    if (!shared.error) shared.error = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(shared.done_mu);
+    shared.done_cv.wait(lock, [&shared] {
+      return shared.pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunked(begin, end, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(
+      static_cast<std::size_t>(env_int("FEDCLUST_THREADS", 0)));
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  global_pool().parallel_for(begin, end, fn);
+}
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  global_pool().parallel_for_chunked(begin, end, fn);
+}
+
+}  // namespace fedclust::util

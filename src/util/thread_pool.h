@@ -1,0 +1,67 @@
+#pragma once
+
+// Fixed-size thread pool with a chunked parallel_for.
+//
+// The simulator is deterministic by construction: parallel_for only ever
+// partitions *independent* work (rows of a GEMM, clients in a round whose
+// RNG streams were split ahead of time), so results do not depend on the
+// worker count or schedule. On a single-core host the pool degrades to
+// inline execution with zero thread overhead.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedclust::util {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(i) for i in [begin, end), splitting the range into at most
+  // size()+1 contiguous chunks (the calling thread takes one). Blocks until
+  // every iteration has finished. Exceptions thrown by fn are rethrown on
+  // the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  // Chunked variant: fn(chunk_begin, chunk_end) — lets the body hoist
+  // per-chunk setup out of the inner loop.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Process-wide pool, sized by FEDCLUST_THREADS (default: hardware
+// concurrency). Constructed on first use.
+ThreadPool& global_pool();
+
+// Convenience wrappers over global_pool().
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace fedclust::util

@@ -1,0 +1,222 @@
+// Behavioural tests for every FL method: each runs end-to-end on a small
+// federation, produces a well-formed trace, and exhibits its signature
+// communication pattern. Heavier learning-quality assertions live in
+// fedclust_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/registry.h"
+#include "fl/cfl.h"
+#include "fl/fedavg.h"
+#include "fl/ifca.h"
+#include "fl/lg_fedavg.h"
+#include "fl/local_only.h"
+#include "fl/pacfl.h"
+
+namespace fedclust::fl {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.data_spec = data::dataset_spec("fmnist");
+  cfg.data_spec.hw = 8;
+  cfg.fed.n_clients = 12;
+  cfg.fed.train_per_client = 16;
+  cfg.fed.test_per_client = 8;
+  cfg.fed.partition = "skew";
+  cfg.fed.skew_fraction = 0.2;
+  cfg.fed.label_set_pool = 3;
+  cfg.model.arch = "mlp";
+  cfg.model.in_channels = 1;
+  cfg.model.image_hw = 8;
+  cfg.model.num_classes = 10;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 8;
+  cfg.local.lr = 0.05f;
+  cfg.local.momentum = 0.5f;
+  cfg.rounds = 4;
+  cfg.sample_fraction = 0.25;  // 3 clients per round
+  cfg.eval_every = 1;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void expect_wellformed(const Trace& t, std::size_t rounds) {
+  EXPECT_EQ(t.records.size(), rounds);
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    EXPECT_EQ(t.records[i].round, i);
+    EXPECT_GE(t.records[i].avg_local_test_acc, 0.0);
+    EXPECT_LE(t.records[i].avg_local_test_acc, 1.0);
+    if (i > 0) {
+      // Cumulative comm is nondecreasing.
+      EXPECT_GE(t.records[i].bytes_up, t.records[i - 1].bytes_up);
+      EXPECT_GE(t.records[i].bytes_down, t.records[i - 1].bytes_down);
+    }
+  }
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(Registry, ListsAllTenMethods) {
+  const auto methods = core::all_methods();
+  EXPECT_EQ(methods.size(), 10u);
+  EXPECT_EQ(methods.front(), "Local");
+  EXPECT_EQ(methods.back(), "FedClust");
+}
+
+TEST(Registry, ConstructsEveryMethod) {
+  Federation fed(small_config());
+  for (const auto& name : core::all_methods()) {
+    const auto algo = core::make_algorithm(name, fed);
+    EXPECT_EQ(algo->name(), name);
+  }
+  EXPECT_THROW(core::make_algorithm("Zeno", fed), std::invalid_argument);
+}
+
+// Every method runs end-to-end and produces a well-formed trace.
+class MethodSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MethodSweep, RunsAndTraces) {
+  Federation fed(small_config());
+  const auto algo = core::make_algorithm(GetParam(), fed);
+  const Trace t = algo->run();
+  EXPECT_EQ(t.method, GetParam());
+  EXPECT_EQ(t.dataset, "fmnist");
+  expect_wellformed(t, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodSweep,
+                         ::testing::Values("Local", "FedAvg", "FedProx",
+                                           "FedNova", "LG", "PerFedAvg",
+                                           "CFL", "IFCA", "PACFL",
+                                           "FedClust"));
+
+// --------------------------------------------- per-method comm signatures
+
+TEST(LocalTest, NoCommunication) {
+  Federation fed(small_config());
+  LocalOnly algo(fed);
+  algo.run();
+  EXPECT_EQ(fed.comm().bytes_total(), 0u);
+}
+
+TEST(FedAvgTest, CommMatchesSampledClients) {
+  Federation fed(small_config());
+  FedAvg algo(fed);
+  algo.run();
+  // 4 rounds * 3 sampled * model both ways.
+  const std::uint64_t expected =
+      4ull * 3 * fed.model_size() * 4;  // bytes each direction
+  EXPECT_EQ(fed.comm().bytes_up(), expected);
+  EXPECT_EQ(fed.comm().bytes_down(), expected);
+}
+
+TEST(FedProxTest, SameCommAsFedAvgDifferentModel) {
+  ExperimentConfig cfg = small_config();
+  Federation f1(cfg);
+  Federation f2(cfg);
+  FedAvg avg(f1);
+  FedAvg prox(f2, /*prox_mu=*/0.1f);
+  avg.run();
+  prox.run();
+  EXPECT_EQ(f1.comm().bytes_total(), f2.comm().bytes_total());
+  // The proximal term must actually change the trajectory.
+  EXPECT_NE(avg.global_params(), prox.global_params());
+}
+
+TEST(LgTest, CommIsOnlyGlobalLayers) {
+  ExperimentConfig cfg = small_config();
+  Federation fed(cfg);
+  LgFedAvg algo(fed);
+  algo.run();
+  // Suffix = last lg_global_params tensors of the MLP.
+  const auto& layout = fed.workspace().param_layout();
+  std::size_t g = 0;
+  for (std::size_t i = layout.size() - cfg.algo.lg_global_params;
+       i < layout.size(); ++i) {
+    g += layout[i].size;
+  }
+  const std::uint64_t expected = 4ull * 3 * g * 4;
+  EXPECT_EQ(fed.comm().bytes_up(), expected);
+  EXPECT_EQ(fed.comm().bytes_down(), expected);
+  EXPECT_LT(g, fed.model_size());
+}
+
+TEST(IfcaTest, DownloadsAreKTimesUploads) {
+  ExperimentConfig cfg = small_config();
+  cfg.algo.ifca_k = 3;
+  Federation fed(cfg);
+  Ifca algo(fed);
+  algo.run();
+  EXPECT_EQ(fed.comm().bytes_down(), 3u * fed.comm().bytes_up());
+}
+
+TEST(PacflTest, OneShotUploadThenClusterRounds) {
+  ExperimentConfig cfg = small_config();
+  Federation fed(cfg);
+  Pacfl algo(fed);
+  const Trace t = algo.run();
+  // Setup uploads subspaces for all 12 clients before any model moves, so
+  // uploads exceed a pure per-round pattern; assignment covers all clients.
+  EXPECT_EQ(algo.assignment().size(), 12u);
+  EXPECT_GE(t.records.back().n_clusters, 1u);
+  EXPECT_GT(fed.comm().bytes_up(), 0u);
+}
+
+TEST(CflTest, StartsAsOneCluster) {
+  Federation fed(small_config());
+  Cfl algo(fed);
+  const Trace t = algo.run();
+  EXPECT_GE(t.records.front().n_clusters, 1u);
+  // Assignment always covers every client and references live clusters.
+  for (const std::size_t a : algo.assignment()) {
+    EXPECT_LT(a, t.records.back().n_clusters);
+  }
+}
+
+// --------------------------------------------------------- trace helpers
+
+TEST(TraceTest, TargetQueries) {
+  Trace t;
+  t.records = {
+      {0, 0.30, 100, 200, 1},
+      {1, 0.55, 300, 500, 1},
+      {2, 0.70, 600, 900, 1},
+  };
+  EXPECT_DOUBLE_EQ(t.final_accuracy(), 0.70);
+  EXPECT_EQ(t.rounds_to_accuracy(0.50), 2);   // 1-based
+  EXPECT_EQ(t.rounds_to_accuracy(0.70), 3);
+  EXPECT_EQ(t.rounds_to_accuracy(0.95), -1);
+  EXPECT_DOUBLE_EQ(t.mb_to_accuracy(0.50), 800.0 * 8.0 / 1e6);
+  EXPECT_DOUBLE_EQ(t.mb_to_accuracy(0.95), -1.0);
+  EXPECT_DOUBLE_EQ(t.total_mb(), 1500.0 * 8.0 / 1e6);
+  EXPECT_EQ(t.final_clusters(), 1u);
+}
+
+TEST(TraceTest, EmptyTrace) {
+  Trace t;
+  EXPECT_DOUBLE_EQ(t.final_accuracy(), 0.0);
+  EXPECT_EQ(t.rounds_to_accuracy(0.1), -1);
+  EXPECT_DOUBLE_EQ(t.total_mb(), 0.0);
+}
+
+TEST(TraceTest, SaveCsv) {
+  Trace t;
+  t.method = "FedAvg";
+  t.dataset = "fmnist";
+  t.records = {{0, 0.5, 100, 200, 1}};
+  const std::string path = ::testing::TempDir() + "/trace_test.csv";
+  t.save_csv(path);
+  std::ifstream is(path);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "method,dataset,round,acc,mb_up,mb_down,clusters");
+  std::string row;
+  std::getline(is, row);
+  EXPECT_NE(row.find("FedAvg,fmnist,0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedclust::fl

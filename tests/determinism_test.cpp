@@ -1,0 +1,96 @@
+// End-to-end determinism: the simulator's contract is that a (config, seed)
+// pair fully determines every trace, model, clustering, and byte count —
+// run-to-run, and regardless of evaluation order.
+
+#include <gtest/gtest.h>
+
+#include "core/fedclust.h"
+#include "core/registry.h"
+#include "fl/federation.h"
+
+namespace fedclust {
+namespace {
+
+fl::ExperimentConfig cfg_for(std::uint64_t seed) {
+  fl::ExperimentConfig cfg;
+  cfg.data_spec = data::dataset_spec("svhn");
+  cfg.data_spec.hw = 8;
+  cfg.fed.n_clients = 10;
+  cfg.fed.train_per_client = 12;
+  cfg.fed.test_per_client = 6;
+  cfg.fed.partition = "dirichlet";
+  cfg.fed.dirichlet_alpha = 0.3;
+  cfg.model.arch = "mlp";
+  cfg.model.in_channels = 3;
+  cfg.model.image_hw = 8;
+  cfg.model.num_classes = 10;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 6;
+  cfg.local.lr = 0.05f;
+  cfg.rounds = 3;
+  cfg.sample_fraction = 0.4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_identical(const fl::Trace& a, const fl::Trace& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].avg_local_test_acc,
+                     b.records[i].avg_local_test_acc);
+    EXPECT_EQ(a.records[i].bytes_up, b.records[i].bytes_up);
+    EXPECT_EQ(a.records[i].bytes_down, b.records[i].bytes_down);
+    EXPECT_EQ(a.records[i].n_clusters, b.records[i].n_clusters);
+  }
+}
+
+class DeterminismSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismSweep, IdenticalTracesAcrossRuns) {
+  const auto run_once = [&] {
+    fl::Federation fed(cfg_for(99));
+    return core::make_algorithm(GetParam(), fed)->run();
+  };
+  expect_identical(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, DeterminismSweep,
+                         ::testing::Values("Local", "FedAvg", "LG",
+                                           "PerFedAvg", "IFCA", "PACFL",
+                                           "FedClust", "SCAFFOLD", "Ditto"));
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  fl::Federation f1(cfg_for(1));
+  fl::Federation f2(cfg_for(2));
+  const auto t1 = core::make_algorithm("FedAvg", f1)->run();
+  const auto t2 = core::make_algorithm("FedAvg", f2)->run();
+  EXPECT_NE(t1.final_accuracy(), t2.final_accuracy());
+}
+
+TEST(Determinism, FedClustClusteringIsStable) {
+  const auto run_once = [&] {
+    fl::Federation fed(cfg_for(7));
+    core::FedClust algo(fed);
+    algo.run();
+    return algo.assignment();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// Interleaving another federation's work must not perturb a run (no hidden
+// global state): run A, then run B, then run A again.
+TEST(Determinism, NoCrossFederationLeakage) {
+  const auto run_a = [&] {
+    fl::Federation fed(cfg_for(5));
+    return core::make_algorithm("FedClust", fed)->run();
+  };
+  const fl::Trace first = run_a();
+  {
+    fl::Federation other(cfg_for(123));
+    core::make_algorithm("IFCA", other)->run();
+  }
+  expect_identical(first, run_a());
+}
+
+}  // namespace
+}  // namespace fedclust

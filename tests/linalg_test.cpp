@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/principal_angles.h"
+#include "linalg/svd.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace fedclust::linalg {
+namespace {
+
+using tensor::Tensor;
+
+Tensor random_matrix(std::size_t m, std::size_t n, util::Rng& rng) {
+  Tensor t({m, n});
+  for (auto& x : t.vec()) x = rng.normalf(0, 1);
+  return t;
+}
+
+Tensor random_symmetric(std::size_t n, util::Rng& rng) {
+  Tensor a({n, n});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const float v = rng.normalf(0, 1);
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  }
+  return a;
+}
+
+// ------------------------------------------------------------------ eigen
+
+TEST(Eigen, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  const Tensor a({2, 2}, {2, 1, 1, 2});
+  const EigenResult r = symmetric_eigen(a);
+  ASSERT_EQ(r.values.size(), 2u);
+  EXPECT_NEAR(r.values[0], 3.0f, 1e-5);
+  EXPECT_NEAR(r.values[1], 1.0f, 1e-5);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(r.vectors.at({0, 0})), std::sqrt(0.5f), 1e-4);
+  EXPECT_NEAR(r.vectors.at({0, 0}), r.vectors.at({1, 0}), 1e-4);
+}
+
+TEST(Eigen, RejectsNonSquare) {
+  EXPECT_THROW(symmetric_eigen(Tensor({2, 3})), std::invalid_argument);
+}
+
+TEST(Eigen, RejectsAsymmetric) {
+  const Tensor a({2, 2}, {1, 5, 0, 1});
+  EXPECT_THROW(symmetric_eigen(a), std::invalid_argument);
+}
+
+class EigenSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenSweep, ReconstructsMatrix) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n * 11 + 1);
+  const Tensor a = random_symmetric(n, rng);
+  const EigenResult r = symmetric_eigen(a);
+
+  // Eigenvalues sorted descending.
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_GE(r.values[i - 1], r.values[i] - 1e-5f);
+  }
+  // Columns orthonormal: V^T V = I.
+  const Tensor vtv = tensor::matmul(r.vectors, tensor::Trans::kYes,
+                                    r.vectors, tensor::Trans::kNo);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(vtv[i * n + j], i == j ? 1.0f : 0.0f, 1e-4);
+    }
+  }
+  // A = V diag(w) V^T.
+  Tensor vd = r.vectors;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) vd[i * n + j] *= r.values[j];
+  }
+  const Tensor rec =
+      tensor::matmul(vd, tensor::Trans::kNo, r.vectors, tensor::Trans::kYes);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(rec[i], a[i], 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 10u, 30u, 64u));
+
+// -------------------------------------------------------------------- svd
+
+class SvdSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SvdSweep, ReconstructsAndIsOrthonormal) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(m * 37 + n);
+  const Tensor a = random_matrix(m, n, rng);
+  const SvdResult r = jacobi_svd(a);
+  const std::size_t k = std::min(m, n);
+  ASSERT_EQ(r.s.size(), k);
+  ASSERT_EQ(r.u.dim(0), m);
+  ASSERT_EQ(r.u.dim(1), k);
+  ASSERT_EQ(r.v.dim(0), n);
+  ASSERT_EQ(r.v.dim(1), k);
+
+  for (std::size_t i = 1; i < k; ++i) {
+    EXPECT_GE(r.s[i - 1], r.s[i] - 1e-5f);
+    EXPECT_GE(r.s[i], -1e-6f);
+  }
+
+  // U^T U = I and V^T V = I on the thin factors.
+  const Tensor utu =
+      tensor::matmul(r.u, tensor::Trans::kYes, r.u, tensor::Trans::kNo);
+  const Tensor vtv =
+      tensor::matmul(r.v, tensor::Trans::kYes, r.v, tensor::Trans::kNo);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_NEAR(utu[i * k + j], i == j ? 1.0f : 0.0f, 1e-4);
+      EXPECT_NEAR(vtv[i * k + j], i == j ? 1.0f : 0.0f, 1e-4);
+    }
+  }
+
+  // A = U diag(s) V^T.
+  Tensor us = r.u;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j) us[i * k + j] *= r.s[j];
+  }
+  const Tensor rec =
+      tensor::matmul(us, tensor::Trans::kNo, r.v, tensor::Trans::kYes);
+  for (std::size_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(rec[i], a[i], 2e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdSweep,
+                         ::testing::Values(std::pair<std::size_t,
+                                                     std::size_t>{1, 1},
+                                           std::pair<std::size_t,
+                                                     std::size_t>{5, 3},
+                                           std::pair<std::size_t,
+                                                     std::size_t>{3, 5},
+                                           std::pair<std::size_t,
+                                                     std::size_t>{10, 10},
+                                           std::pair<std::size_t,
+                                                     std::size_t>{40, 8},
+                                           std::pair<std::size_t,
+                                                     std::size_t>{8, 40}));
+
+TEST(Svd, RankDeficientSingularValuesVanish) {
+  // Rank-1 matrix: outer product.
+  const std::size_t m = 6;
+  const std::size_t n = 4;
+  Tensor a({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a[i * n + j] =
+          static_cast<float>(i + 1) * static_cast<float>(j + 1) * 0.1f;
+    }
+  }
+  const SvdResult r = jacobi_svd(a);
+  EXPECT_GT(r.s[0], 0.1f);
+  for (std::size_t i = 1; i < r.s.size(); ++i) EXPECT_NEAR(r.s[i], 0.0f, 1e-4);
+}
+
+TEST(TruncatedSvd, MatchesFullSvdLeadingSubspace) {
+  util::Rng rng(77);
+  const Tensor x = random_matrix(20, 12, rng);
+  const Tensor u3 = truncated_left_singular(x, 3);
+  ASSERT_EQ(u3.dim(0), 20u);
+  ASSERT_EQ(u3.dim(1), 3u);
+  const SvdResult full = jacobi_svd(x);
+  // Same 3-dimensional subspace: all principal angles are ~0.
+  Tensor uref({20, 3});
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      uref[i * 3 + j] = full.u[i * full.u.dim(1) + j];
+    }
+  }
+  const auto cosines = principal_angle_cosines(u3, uref);
+  ASSERT_EQ(cosines.size(), 3u);
+  for (const float c : cosines) EXPECT_NEAR(c, 1.0f, 1e-3);
+}
+
+TEST(TruncatedSvd, ClampsRank) {
+  util::Rng rng(78);
+  const Tensor x = random_matrix(10, 2, rng);
+  const Tensor u = truncated_left_singular(x, 5);
+  EXPECT_LE(u.dim(1), 2u);
+}
+
+TEST(OrthonormalizeColumns, DropsDependentColumns) {
+  // Third column is the sum of the first two.
+  Tensor a({3, 3}, {1, 0, 1, 0, 1, 1, 0, 0, 0});
+  const Tensor q = orthonormalize_columns(a);
+  EXPECT_EQ(q.dim(1), 2u);
+  const Tensor qtq =
+      tensor::matmul(q, tensor::Trans::kYes, q, tensor::Trans::kNo);
+  EXPECT_NEAR(qtq[0], 1.0f, 1e-5);
+  EXPECT_NEAR(qtq[1], 0.0f, 1e-5);
+  EXPECT_NEAR(qtq[3], 1.0f, 1e-5);
+}
+
+// ------------------------------------------------------- principal angles
+
+TEST(PrincipalAngles, IdenticalSubspaceIsZeroDegrees) {
+  util::Rng rng(5);
+  const Tensor q = orthonormalize_columns(random_matrix(10, 3, rng));
+  EXPECT_NEAR(principal_angle_distance_deg(q, q), 0.0f, 0.1f);
+}
+
+TEST(PrincipalAngles, OrthogonalSubspaces) {
+  // span(e0, e1) vs span(e2, e3) in R^4: both angles are 90 degrees.
+  Tensor u1({4, 2}, {1, 0, 0, 1, 0, 0, 0, 0});
+  Tensor u2({4, 2}, {0, 0, 0, 0, 1, 0, 0, 1});
+  const auto cosines = principal_angle_cosines(u1, u2);
+  ASSERT_EQ(cosines.size(), 2u);
+  EXPECT_NEAR(cosines[0], 0.0f, 1e-5);
+  EXPECT_NEAR(cosines[1], 0.0f, 1e-5);
+  EXPECT_NEAR(principal_angle_distance_deg(u1, u2), 180.0f, 0.1f);
+}
+
+TEST(PrincipalAngles, PartialOverlap) {
+  // span(e0, e1) vs span(e1, e2): one zero angle, one right angle.
+  Tensor u1({3, 2}, {1, 0, 0, 1, 0, 0});
+  Tensor u2({3, 2}, {0, 0, 1, 0, 0, 1});
+  const auto cosines = principal_angle_cosines(u1, u2);
+  ASSERT_EQ(cosines.size(), 2u);
+  EXPECT_NEAR(cosines[0], 1.0f, 1e-5);
+  EXPECT_NEAR(cosines[1], 0.0f, 1e-5);
+  EXPECT_NEAR(principal_angle_distance_deg(u1, u2), 90.0f, 0.1f);
+}
+
+TEST(PrincipalAngles, MismatchedAmbientDimThrows) {
+  EXPECT_THROW(
+      principal_angle_cosines(Tensor({3, 1}), Tensor({4, 1})),
+      std::invalid_argument);
+}
+
+TEST(PrincipalAngles, EmptySubspace) {
+  EXPECT_TRUE(principal_angle_cosines(Tensor({3, 0}), Tensor({3, 2})).empty());
+}
+
+}  // namespace
+}  // namespace fedclust::linalg

@@ -1,0 +1,387 @@
+// Gradient-checks every layer's backward pass against central finite
+// differences, plus forward-pass spot checks on known values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+#include "util/rng.h"
+
+namespace fedclust::nn {
+namespace {
+
+using tensor::Tensor;
+
+Tensor random_input(tensor::Shape shape, util::Rng& rng, float scale = 1.0f) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.vec()) x = rng.normalf(0.0f, scale);
+  return t;
+}
+
+// Scalarizes the module output with fixed random projection weights so we
+// can finite-difference a single number.
+struct GradCheck {
+  Module& module;
+  Tensor input;
+  Tensor proj;  // same shape as module output
+
+  explicit GradCheck(Module& m, Tensor in, util::Rng& rng)
+      : module(m), input(std::move(in)) {
+    const Tensor out = module.forward(input, /*train=*/false);
+    proj = Tensor(out.shape());
+    for (auto& x : proj.vec()) x = rng.normalf(0.0f, 1.0f);
+  }
+
+  double scalar_loss() {
+    const Tensor out = module.forward(input, /*train=*/false);
+    double s = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      s += static_cast<double>(out[i]) * proj[i];
+    }
+    return s;
+  }
+
+  // Analytic grads: one backward pass with grad_out = proj.
+  Tensor analytic_input_grad() {
+    module.zero_grad();
+    module.forward(input, /*train=*/true);
+    return module.backward(proj);
+  }
+
+  void check_input_grad(double eps = 1e-3, double tol = 2e-2) {
+    const Tensor gx = analytic_input_grad();
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      const float saved = input[i];
+      input[i] = saved + static_cast<float>(eps);
+      const double lp = scalar_loss();
+      input[i] = saved - static_cast<float>(eps);
+      const double lm = scalar_loss();
+      input[i] = saved;
+      const double num = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(gx[i], num, tol * (std::abs(num) + 1.0))
+          << "input grad mismatch at " << i;
+    }
+  }
+
+  void check_param_grads(double eps = 1e-3, double tol = 2e-2) {
+    analytic_input_grad();  // fills parameter grads
+    for (Parameter* p : module.parameters()) {
+      // Copy analytic grads before the FD loop perturbs state.
+      const Tensor g = p->grad;
+      for (std::size_t i = 0; i < p->value.size(); ++i) {
+        const float saved = p->value[i];
+        p->value[i] = saved + static_cast<float>(eps);
+        const double lp = scalar_loss();
+        p->value[i] = saved - static_cast<float>(eps);
+        const double lm = scalar_loss();
+        p->value[i] = saved;
+        const double num = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(g[i], num, tol * (std::abs(num) + 1.0))
+            << p->name << " grad mismatch at " << i;
+      }
+    }
+  }
+};
+
+// ----------------------------------------------------------------- linear
+
+TEST(Linear, ForwardKnown) {
+  Linear fc(2, 2, "fc");
+  fc.weight().value = Tensor({2, 2}, {1, 2, 3, 4});
+  fc.bias().value = Tensor({2}, {10, 20});
+  const Tensor x({1, 2}, {1, 1});
+  const Tensor y = fc.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 13.0f);  // 1*1+2*1+10
+  EXPECT_FLOAT_EQ(y[1], 27.0f);  // 3*1+4*1+20
+}
+
+TEST(Linear, RejectsWrongWidth) {
+  Linear fc(3, 2);
+  EXPECT_THROW(fc.forward(Tensor({1, 4}), false), std::invalid_argument);
+  EXPECT_THROW(fc.backward(Tensor({1, 2})), std::logic_error);
+}
+
+TEST(Linear, GradCheck) {
+  util::Rng rng(1);
+  auto fc = make_linear(5, 4, rng, "fc");
+  GradCheck gc(*fc, random_input({3, 5}, rng), rng);
+  gc.check_input_grad();
+  gc.check_param_grads();
+}
+
+TEST(Linear, GradAccumulatesAcrossBackwards) {
+  util::Rng rng(2);
+  auto fc = make_linear(3, 2, rng, "fc");
+  const Tensor x = random_input({2, 3}, rng);
+  const Tensor g = random_input({2, 2}, rng);
+  fc->zero_grad();
+  fc->forward(x, true);
+  fc->backward(g);
+  const Tensor once = fc->weight().grad;
+  fc->forward(x, true);
+  fc->backward(g);
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(fc->weight().grad[i], 2.0f * once[i], 1e-5);
+  }
+}
+
+// ------------------------------------------------------------------ conv
+
+TEST(Conv2d, ForwardKnownIdentityKernel) {
+  Conv2d conv(1, 1, 1, 1, 0, "c");
+  conv.weight().value = Tensor({1, 1}, {2.0f});
+  conv.parameters()[1]->value = Tensor({1}, {1.0f});
+  const Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[3], 9.0f);
+}
+
+TEST(Conv2d, ForwardKnownSum) {
+  // 2x2 all-ones kernel on 3x3 ramp, no pad: sliding window sums.
+  Conv2d conv(1, 1, 2, 1, 0, "c");
+  conv.weight().value = Tensor::full({1, 4}, 1.0f);
+  const Tensor x({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 16.0f);
+  EXPECT_FLOAT_EQ(y[2], 24.0f);
+  EXPECT_FLOAT_EQ(y[3], 28.0f);
+}
+
+TEST(Conv2d, RejectsWrongChannels) {
+  Conv2d conv(3, 4, 3, 1, 1);
+  EXPECT_THROW(conv.forward(Tensor({1, 2, 8, 8}), false),
+               std::invalid_argument);
+}
+
+TEST(Conv2d, GradCheckStride1Pad1) {
+  util::Rng rng(3);
+  auto conv = make_conv(2, 3, 3, 1, 1, rng, "c");
+  GradCheck gc(*conv, random_input({2, 2, 5, 5}, rng), rng);
+  gc.check_input_grad();
+  gc.check_param_grads();
+}
+
+TEST(Conv2d, GradCheckStride2NoPad) {
+  util::Rng rng(4);
+  auto conv = make_conv(1, 2, 3, 2, 0, rng, "c");
+  GradCheck gc(*conv, random_input({1, 1, 7, 7}, rng), rng);
+  gc.check_input_grad();
+  gc.check_param_grads();
+}
+
+// ---------------------------------------------------------------- pooling
+
+TEST(MaxPool, ForwardKnown) {
+  MaxPool2d pool(2);
+  const Tensor x({1, 1, 4, 4},
+                 {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[3], 16.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  const Tensor x({1, 1, 2, 2}, {1, 9, 3, 4});
+  pool.forward(x, true);
+  const Tensor g({1, 1, 1, 1}, {5.0f});
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 5.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(MaxPool, GradCheck) {
+  util::Rng rng(5);
+  MaxPool2d pool(2);
+  // Distinct values so the argmax is stable under the FD epsilon.
+  Tensor x({1, 2, 4, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(i % 7) + 0.01f * static_cast<float>(i);
+  }
+  GradCheck gc(pool, x, rng);
+  gc.check_input_grad();
+}
+
+TEST(AvgPool, ForwardAndGradCheck) {
+  util::Rng rng(6);
+  AvgPool2d pool(2);
+  const Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  GradCheck gc(pool, random_input({2, 3, 4, 4}, rng), rng);
+  gc.check_input_grad();
+}
+
+TEST(GlobalAvgPool, ForwardAndGradCheck) {
+  util::Rng rng(7);
+  GlobalAvgPool2d gap;
+  const Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  const Tensor y = gap.forward(x, false);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 25.0f);
+  GradCheck gc(gap, random_input({2, 3, 3, 3}, rng), rng);
+  gc.check_input_grad();
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten f;
+  const Tensor x({2, 3, 4, 4});
+  const Tensor y = f.forward(x, true);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 48}));
+  const Tensor gx = f.backward(Tensor({2, 48}));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+// ------------------------------------------------------------ activations
+
+TEST(ReLUTest, ForwardClampsAndGradMasks) {
+  ReLU relu;
+  const Tensor x({1, 4}, {-1, 0, 2, -3});
+  const Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  const Tensor g({1, 4}, {1, 1, 1, 1});
+  const Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 0.0f);
+  EXPECT_FLOAT_EQ(gx[2], 1.0f);
+}
+
+TEST(TanhTest, GradCheck) {
+  util::Rng rng(8);
+  Tanh tanh_layer;
+  GradCheck gc(tanh_layer, random_input({3, 5}, rng), rng);
+  gc.check_input_grad();
+}
+
+// -------------------------------------------------------------- groupnorm
+
+TEST(GroupNormTest, NormalizesPerGroup) {
+  GroupNorm gn(2, 4);  // 4 channels, 2 groups
+  util::Rng rng(9);
+  const Tensor x = random_input({2, 4, 3, 3}, rng, 3.0f);
+  const Tensor y = gn.forward(x, false);
+  // Each (sample, group) slab should have ~zero mean and ~unit variance.
+  const std::size_t area = 9;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t g = 0; g < 2; ++g) {
+      double sum = 0.0;
+      double sq = 0.0;
+      for (std::size_t c = 0; c < 2; ++c) {
+        const float* plane = y.data() + ((i * 4 + g * 2 + c) * area);
+        for (std::size_t p = 0; p < area; ++p) {
+          sum += plane[p];
+          sq += static_cast<double>(plane[p]) * plane[p];
+        }
+      }
+      const double mean = sum / 18.0;
+      EXPECT_NEAR(mean, 0.0, 1e-4);
+      EXPECT_NEAR(sq / 18.0 - mean * mean, 1.0, 1e-2);
+    }
+  }
+}
+
+TEST(GroupNormTest, RejectsIndivisibleChannels) {
+  EXPECT_THROW(GroupNorm(3, 4), std::invalid_argument);
+}
+
+TEST(GroupNormTest, GradCheck) {
+  util::Rng rng(10);
+  GroupNorm gn(2, 4);
+  // Non-trivial gamma/beta so their gradients are exercised.
+  for (auto& v : gn.parameters()[0]->value.vec()) v = rng.normalf(1.0f, 0.2f);
+  for (auto& v : gn.parameters()[1]->value.vec()) v = rng.normalf(0.0f, 0.2f);
+  GradCheck gc(gn, random_input({2, 4, 3, 3}, rng), rng);
+  gc.check_input_grad(1e-3, 5e-2);
+  gc.check_param_grads(1e-3, 5e-2);
+}
+
+// --------------------------------------------------------------- residual
+
+TEST(Residual, ForwardAddsSkip) {
+  // Body that doubles the input: conv 1x1 with weight 2, no bias.
+  auto body = std::make_unique<Conv2d>(1, 1, 1, 1, 0, "b");
+  body->weight().value = Tensor({1, 1}, {2.0f});
+  ResidualBlock res(std::move(body));
+  const Tensor x({1, 1, 1, 2}, {1.0f, -1.0f});
+  const Tensor y = res.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);   // relu(2*1 + 1)
+  EXPECT_FLOAT_EQ(y[1], 0.0f);   // relu(2*-1 + -1) = relu(-3)
+}
+
+TEST(Residual, RejectsShapeChangingBody) {
+  util::Rng rng(11);
+  auto body = make_conv(1, 2, 3, 1, 1, rng, "b");  // changes channel count
+  ResidualBlock res(std::move(body));
+  EXPECT_THROW(res.forward(Tensor({1, 1, 4, 4}), false),
+               std::invalid_argument);
+}
+
+TEST(Residual, GradCheck) {
+  util::Rng rng(12);
+  auto body = std::make_unique<Sequential>();
+  body->add(make_conv(2, 2, 3, 1, 1, rng, "a"));
+  body->emplace<Tanh>();  // smooth body keeps FD well-behaved
+  ResidualBlock res(std::move(body));
+  GradCheck gc(res, random_input({1, 2, 4, 4}, rng), rng);
+  gc.check_input_grad(1e-3, 5e-2);
+  gc.check_param_grads(1e-3, 5e-2);
+}
+
+// ------------------------------------------------------------- sequential
+
+TEST(SequentialTest, ComposedGradCheck) {
+  util::Rng rng(13);
+  Sequential net;
+  net.add(make_conv(1, 2, 3, 1, 1, rng, "c1"));
+  net.emplace<Tanh>();
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Flatten>();
+  net.add(make_linear(2 * 2 * 2, 3, rng, "fc"));
+  GradCheck gc(net, random_input({2, 1, 4, 4}, rng), rng);
+  gc.check_input_grad(1e-3, 5e-2);
+  gc.check_param_grads(1e-3, 5e-2);
+}
+
+TEST(SequentialTest, ParameterOrderIsStable) {
+  util::Rng rng(14);
+  Sequential net;
+  net.add(make_linear(2, 3, rng, "fc1"));
+  net.add(make_linear(3, 4, rng, "fc2"));
+  const auto params = net.parameters();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0]->name, "fc1.weight");
+  EXPECT_EQ(params[1]->name, "fc1.bias");
+  EXPECT_EQ(params[2]->name, "fc2.weight");
+  EXPECT_EQ(params[3]->name, "fc2.bias");
+}
+
+TEST(SequentialTest, ZeroGradClearsAll) {
+  util::Rng rng(15);
+  Sequential net;
+  net.add(make_linear(2, 2, rng, "fc"));
+  net.forward(random_input({1, 2}, rng), true);
+  net.backward(Tensor({1, 2}, {1, 1}));
+  net.zero_grad();
+  for (Parameter* p : net.parameters()) {
+    for (const float g : p->grad.vec()) EXPECT_EQ(g, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace fedclust::nn

@@ -1,0 +1,234 @@
+// Parameterized property sweeps across module configuration spaces:
+// gradient checks for Conv2d/GroupNorm over many geometries, model-zoo
+// forwards across input scales, truncated-SVD rank sweeps, and
+// dendrogram-cut invariants on random distance matrices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "clustering/distance.h"
+#include "clustering/hierarchical.h"
+#include "linalg/svd.h"
+#include "nn/conv2d.h"
+#include "nn/init.h"
+#include "nn/model_zoo.h"
+#include "nn/norm.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace fedclust {
+namespace {
+
+using nn::Tensor;
+
+Tensor randn(tensor::Shape shape, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.vec()) x = rng.normalf(0, 1);
+  return t;
+}
+
+// Scalarized finite-difference gradient check against backward().
+void grad_check_module(nn::Module& m, Tensor x, util::Rng& rng,
+                       double tol = 5e-2) {
+  Tensor proj(m.forward(x, false).shape());
+  for (auto& v : proj.vec()) v = rng.normalf(0, 1);
+  const auto loss = [&] {
+    const Tensor out = m.forward(x, false);
+    double s = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      s += static_cast<double>(out[i]) * proj[i];
+    }
+    return s;
+  };
+  m.zero_grad();
+  m.forward(x, true);
+  const Tensor gx = m.backward(proj);
+  const double eps = 1e-3;
+  // Sample a subset of coordinates to keep the sweep fast.
+  util::Rng pick(7);
+  for (int trial = 0; trial < 24; ++trial) {
+    const auto i = static_cast<std::size_t>(
+        pick.randint(0, static_cast<std::int64_t>(x.size())));
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(eps);
+    const double lp = loss();
+    x[i] = saved - static_cast<float>(eps);
+    const double lm = loss();
+    x[i] = saved;
+    const double num = (lp - lm) / (2.0 * eps);
+    ASSERT_NEAR(gx[i], num, tol * (std::abs(num) + 1.0)) << "coord " << i;
+  }
+}
+
+// ---------------------------------------------------- conv geometry sweep
+
+using ConvCase = std::tuple<std::size_t, std::size_t, std::size_t,
+                            std::size_t, std::size_t, std::size_t>;
+// (in_c, out_c, hw, kernel, stride, pad)
+
+class ConvGradSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradSweep, BackwardMatchesFiniteDifferences) {
+  const auto [in_c, out_c, hw, k, stride, pad] = GetParam();
+  util::Rng rng(in_c * 131 + out_c * 17 + hw + k + stride + pad);
+  auto conv = nn::make_conv(in_c, out_c, k, stride, pad, rng, "c");
+  grad_check_module(*conv, randn({2, in_c, hw, hw}, rng), rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGradSweep,
+    ::testing::Values(ConvCase{1, 1, 4, 3, 1, 1}, ConvCase{2, 4, 6, 3, 1, 0},
+                      ConvCase{3, 2, 8, 5, 1, 2}, ConvCase{4, 4, 6, 3, 2, 1},
+                      ConvCase{1, 8, 7, 7, 1, 3}, ConvCase{2, 2, 9, 3, 3, 0},
+                      ConvCase{6, 3, 5, 5, 1, 2},
+                      ConvCase{2, 5, 8, 1, 1, 0}));
+
+// ---------------------------------------------------- groupnorm sweep
+
+using GnCase = std::pair<std::size_t, std::size_t>;  // (groups, channels)
+
+class GroupNormSweep : public ::testing::TestWithParam<GnCase> {};
+
+TEST_P(GroupNormSweep, BackwardMatchesFiniteDifferences) {
+  const auto [groups, channels] = GetParam();
+  util::Rng rng(groups * 31 + channels);
+  nn::GroupNorm gn(groups, channels);
+  for (auto& v : gn.parameters()[0]->value.vec()) {
+    v = rng.normalf(1.0f, 0.2f);
+  }
+  grad_check_module(gn, randn({2, channels, 3, 3}, rng), rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, GroupNormSweep,
+                         ::testing::Values(GnCase{1, 1}, GnCase{1, 4},
+                                           GnCase{2, 4}, GnCase{4, 4},
+                                           GnCase{2, 6}, GnCase{3, 9},
+                                           GnCase{8, 16}));
+
+// ------------------------------------------------ model zoo scale sweep
+
+using ZooCase = std::tuple<std::string, std::size_t, std::size_t,
+                           std::size_t>;  // arch, channels, hw, classes
+
+class ZooForwardSweep : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooForwardSweep, ForwardShapeAndFiniteness) {
+  const auto [arch, ch, hw, classes] = GetParam();
+  nn::ModelSpec spec;
+  spec.arch = arch;
+  spec.in_channels = ch;
+  spec.image_hw = hw;
+  spec.num_classes = classes;
+  nn::Model m = nn::build_model(spec, 3);
+  util::Rng rng(9);
+  const Tensor y = m.forward(randn({3, ch, hw, hw}, rng));
+  ASSERT_EQ(y.shape(), (tensor::Shape{3, classes}));
+  for (const float v : y.vec()) ASSERT_TRUE(std::isfinite(v));
+  // Classifier slice is always the trailing Linear.
+  const auto [off, size] = m.classifier_range();
+  EXPECT_EQ(off + size, m.num_params());
+  EXPECT_GT(size, classes);  // weight matrix + bias
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scales, ZooForwardSweep,
+    ::testing::Values(ZooCase{"lenet5", 1, 16, 10},
+                      ZooCase{"lenet5", 3, 16, 2},
+                      ZooCase{"lenet5", 3, 32, 10},
+                      ZooCase{"resnet9", 3, 16, 20},
+                      ZooCase{"resnet9", 1, 8, 5},
+                      ZooCase{"vgglite", 3, 16, 10},
+                      ZooCase{"vgglite", 1, 24, 4},
+                      ZooCase{"mlp", 3, 16, 10}, ZooCase{"mlp", 1, 8, 3}));
+
+// ----------------------------------------------- truncated SVD rank sweep
+
+class TruncatedSvdSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TruncatedSvdSweep, TopKCapturesMostEnergyAndIsOrthonormal) {
+  const std::size_t k = GetParam();
+  util::Rng rng(k * 13 + 1);
+  // Low-rank-plus-noise matrix: top-k of rank r >= k must be orthonormal
+  // and capture more energy than any k random directions.
+  const std::size_t d = 40;
+  const std::size_t n = 24;
+  Tensor x({d, n});
+  for (auto& v : x.vec()) v = 0.05f * rng.normalf(0, 1);
+  for (std::size_t r = 0; r < 6; ++r) {  // rank-6 signal
+    std::vector<float> u(d), v(n);
+    for (auto& e : u) e = rng.normalf(0, 1);
+    for (auto& e : v) e = rng.normalf(0, 1);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        x[i * n + j] += u[i] * v[j] / static_cast<float>(r + 1);
+      }
+    }
+  }
+  const Tensor uk = linalg::truncated_left_singular(x, k);
+  ASSERT_EQ(uk.dim(1), std::min(k, n));
+  const Tensor utu =
+      tensor::matmul(uk, tensor::Trans::kYes, uk, tensor::Trans::kNo);
+  for (std::size_t i = 0; i < uk.dim(1); ++i) {
+    for (std::size_t j = 0; j < uk.dim(1); ++j) {
+      ASSERT_NEAR(utu[i * uk.dim(1) + j], i == j ? 1.0f : 0.0f, 1e-3);
+    }
+  }
+  // Projection energy ||U_k^T X||_F^2 must be nondecreasing in k and below
+  // the total energy.
+  const Tensor proj =
+      tensor::matmul(uk, tensor::Trans::kYes, x, tensor::Trans::kNo);
+  double captured = 0.0;
+  for (const float v : proj.vec()) captured += static_cast<double>(v) * v;
+  double total = 0.0;
+  for (const float v : x.vec()) total += static_cast<double>(v) * v;
+  EXPECT_LE(captured, total * (1.0 + 1e-6));
+  EXPECT_GT(captured, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, TruncatedSvdSweep,
+                         ::testing::Values(1u, 2u, 3u, 6u, 10u, 24u, 40u));
+
+// ----------------------------------------- dendrogram invariants sweep
+
+class DendroSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DendroSweep, CutInvariantsOnRandomMatrices) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n * 7 + 5);
+  std::vector<std::vector<float>> pts(n, std::vector<float>(3));
+  for (auto& p : pts) {
+    for (auto& v : p) v = rng.normalf(0, 2);
+  }
+  const auto dist = clustering::l2_distance_matrix(pts);
+  const auto dendro = clustering::agglomerative(dist);
+  ASSERT_EQ(dendro.merges.size(), n - 1);
+
+  // cut_to_k produces exactly k clusters for every admissible k, and the
+  // partitions are nested (coarser cuts merge finer ones).
+  std::vector<std::size_t> prev;
+  for (std::size_t k = n; k >= 1; --k) {
+    const auto labels = clustering::cut_to_k(dendro, k);
+    ASSERT_EQ(clustering::num_clusters(labels), k);
+    if (!prev.empty()) {
+      // Nestedness: any two items together at k+1 clusters stay together
+      // at k clusters.
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          if (prev[i] == prev[j]) {
+            ASSERT_EQ(labels[i], labels[j])
+                << "nestedness violated at k=" << k;
+          }
+        }
+      }
+    }
+    prev = labels;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DendroSweep,
+                         ::testing::Values(2u, 3u, 5u, 8u, 13u, 21u));
+
+}  // namespace
+}  // namespace fedclust

@@ -1,0 +1,40 @@
+// Scratch calibration: prototypes-per-class / noise / lr shape probe.
+#include <iostream>
+#include "harness.h"
+#include "core/fedclust.h"
+#include "core/registry.h"
+#include "util/config.h"
+using namespace fedclust;
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "cifar10";
+  bench::Scale scale = bench::get_scale();
+  auto base = [&](std::uint64_t seed) {
+    fl::ExperimentConfig cfg = bench::make_config(dataset, "skew20", scale, seed);
+    cfg.data_spec.prototypes_per_class =
+        (std::size_t)util::env_int("PROBE_PROTOS", cfg.data_spec.prototypes_per_class);
+    cfg.data_spec.noise = (float)util::env_double("PROBE_NOISE", cfg.data_spec.noise);
+    cfg.data_spec.coeff_jitter = (float)util::env_double("PROBE_JITTER", cfg.data_spec.coeff_jitter);
+    cfg.data_spec.grating_scale = (float)util::env_double("PROBE_GRATING", cfg.data_spec.grating_scale);
+    cfg.local.lr = (float)util::env_double("PROBE_LR", 0.03);
+    cfg.algo.fedclust_init_epochs = (std::size_t)util::env_int("PROBE_WARMUP", 3);
+    return cfg;
+  };
+  for (std::size_t k : {0, 2, 4, 8, 16}) {
+    auto cfg = base(1000);
+    cfg.algo.fedclust_k = k;
+    fl::Federation fed(cfg);
+    core::FedClust algo(fed);
+    auto t = algo.run();
+    std::cout << "  FedClust k=" << (k ? std::to_string(k) : "auto") << " -> "
+              << algo.report().n_clusters << " clusters, acc="
+              << t.final_accuracy() * 100 << "%\n";
+  }
+  for (const char* m : {"Local", "FedAvg", "IFCA", "PACFL", "LG", "PerFedAvg", "CFL"}) {
+    auto cfg = base(1000);
+    fl::Federation fed(cfg);
+    auto algo = core::make_algorithm(m, fed);
+    auto t = algo->run();
+    std::cout << "  " << m << " acc=" << t.final_accuracy() * 100
+              << "% clusters=" << t.final_clusters() << "\n";
+  }
+}

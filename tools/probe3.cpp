@@ -1,0 +1,43 @@
+// Compact shape-score probe: prints FedClust-best-k / Local / FedAvg.
+#include <iostream>
+#include "harness.h"
+#include "core/fedclust.h"
+#include "core/registry.h"
+#include "util/config.h"
+using namespace fedclust;
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "cifar10";
+  bench::Scale scale = bench::get_scale();
+  auto base = [&](std::uint64_t seed) {
+    fl::ExperimentConfig cfg = bench::make_config(dataset, "skew20", scale, seed);
+    cfg.data_spec.noise = (float)util::env_double("PROBE_NOISE", cfg.data_spec.noise);
+    cfg.data_spec.coeff_jitter = (float)util::env_double("PROBE_JITTER", cfg.data_spec.coeff_jitter);
+    cfg.sample_fraction = util::env_double("PROBE_SAMPLE", cfg.sample_fraction);
+    cfg.local.lr = (float)util::env_double("PROBE_LR", cfg.local.lr);
+    cfg.fed.train_per_client = (std::size_t)util::env_int("PROBE_TRAIN", cfg.fed.train_per_client);
+    return cfg;
+  };
+  double best_fc = 0; std::size_t best_k = 0;
+  for (std::size_t k : {4, 8, 12, 16, 20, 24}) {
+    double a = 0;
+    for (std::uint64_t seed : {1000, 2000}) {
+      auto cfg = base(seed);
+      cfg.algo.fedclust_k = k;
+      fl::Federation fed(cfg);
+      core::FedClust algo(fed);
+      a += algo.run().final_accuracy() / 2;
+    }
+    std::cout << "    k=" << k << ": " << a*100 << "\n";
+    if (a > best_fc) { best_fc = a; best_k = k; }
+  }
+  double local = 0, fedavg = 0;
+  for (std::uint64_t seed : {1000, 2000}) {
+    { auto cfg = base(seed); fl::Federation fed(cfg);
+      local += core::make_algorithm("Local", fed)->run().final_accuracy() / 2; }
+    { auto cfg = base(seed); fl::Federation fed(cfg);
+      fedavg += core::make_algorithm("FedAvg", fed)->run().final_accuracy() / 2; }
+  }
+  std::cout << "FC(k=" << best_k << ")=" << best_fc*100 << " Local=" << local*100
+            << " FedAvg=" << fedavg*100
+            << " margin=" << (best_fc - std::max(local, fedavg))*100 << "\n";
+}

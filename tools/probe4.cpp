@@ -1,0 +1,45 @@
+// Cluster coherence probe: intra-cluster vs global Jaccard similarity of
+// client label sets, for FedClust's one-shot clustering.
+#include <iostream>
+#include <set>
+#include "harness.h"
+#include "core/fedclust.h"
+#include "util/config.h"
+// (env knobs: PROBE_K, PROBE_WARMUP, PROBE_WARMLR, PROBE_LINKAGE)
+using namespace fedclust;
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "fmnist";
+  bench::Scale scale = bench::get_scale();
+  fl::ExperimentConfig cfg = bench::make_config(dataset, "skew20", scale, 1000);
+  cfg.algo.fedclust_k = (std::size_t)util::env_int("PROBE_K", 8);
+  cfg.algo.fedclust_init_epochs = (std::size_t)util::env_int("PROBE_WARMUP", 3);
+  cfg.algo.fedclust_init_lr = (float)util::env_double("PROBE_WARMLR", 0.0);
+  cfg.algo.fedclust_linkage = util::env_string("PROBE_LINKAGE", "average");
+  cfg.rounds = 1;
+  auto cdata = data::make_federated_data(cfg.data_spec, cfg.fed, cfg.seed);
+  std::vector<std::set<std::int64_t>> sets;
+  for (auto& c : cdata) {
+    const auto labels = c.train.present_labels();
+    sets.emplace_back(labels.begin(), labels.end());
+  }
+  fl::Federation fed(cfg);
+  core::FedClust algo(fed);
+  algo.run();
+  const auto& a = algo.assignment();
+  auto jac = [&](std::size_t i, std::size_t j) {
+    std::size_t inter = 0;
+    for (auto l : sets[i]) inter += sets[j].count(l);
+    const std::size_t uni = sets[i].size() + sets[j].size() - inter;
+    return uni ? double(inter) / double(uni) : 1.0;
+  };
+  double intra = 0, all = 0; std::size_t ni = 0, na = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      const double v = jac(i, j);
+      all += v; ++na;
+      if (a[i] == a[j]) { intra += v; ++ni; }
+    }
+  std::cout << "k=" << algo.report().n_clusters
+            << " intra-jaccard=" << (ni ? intra/ni : 0)
+            << " overall-jaccard=" << all/na << "\n";
+}
