@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weights_linkage.dir/ablation_weights_linkage.cpp.o"
+  "CMakeFiles/ablation_weights_linkage.dir/ablation_weights_linkage.cpp.o.d"
+  "ablation_weights_linkage"
+  "ablation_weights_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weights_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

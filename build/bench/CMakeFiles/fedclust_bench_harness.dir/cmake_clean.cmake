@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libfedclust_bench_harness.a"
+  "../lib/libfedclust_bench_harness.pdb"
+  "CMakeFiles/fedclust_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/fedclust_bench_harness.dir/harness.cpp.o.d"
+  "CMakeFiles/fedclust_bench_harness.dir/table_common.cpp.o"
+  "CMakeFiles/fedclust_bench_harness.dir/table_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedclust_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libfedclust_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/fedclust_sim"
+  "../tools/fedclust_sim.pdb"
+  "CMakeFiles/fedclust_sim.dir/__/tools/fedclust_sim.cpp.o"
+  "CMakeFiles/fedclust_sim.dir/__/tools/fedclust_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedclust_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

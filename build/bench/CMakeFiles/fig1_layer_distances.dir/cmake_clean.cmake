@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_layer_distances.dir/fig1_layer_distances.cpp.o"
+  "CMakeFiles/fig1_layer_distances.dir/fig1_layer_distances.cpp.o.d"
+  "fig1_layer_distances"
+  "fig1_layer_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_layer_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

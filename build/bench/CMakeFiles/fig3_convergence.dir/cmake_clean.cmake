@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_convergence.dir/fig3_convergence.cpp.o"
+  "CMakeFiles/fig3_convergence.dir/fig3_convergence.cpp.o.d"
+  "fig3_convergence"
+  "fig3_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_lambda_tradeoff.dir/fig4_lambda_tradeoff.cpp.o"
+  "CMakeFiles/fig4_lambda_tradeoff.dir/fig4_lambda_tradeoff.cpp.o.d"
+  "fig4_lambda_tradeoff"
+  "fig4_lambda_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_lambda_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

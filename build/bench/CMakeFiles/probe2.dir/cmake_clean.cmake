@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/probe2"
+  "../tools/probe2.pdb"
+  "CMakeFiles/probe2.dir/__/tools/probe2.cpp.o"
+  "CMakeFiles/probe2.dir/__/tools/probe2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/probe3"
+  "../tools/probe3.pdb"
+  "CMakeFiles/probe3.dir/__/tools/probe3.cpp.o"
+  "CMakeFiles/probe3.dir/__/tools/probe3.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/probe4"
+  "../tools/probe4.pdb"
+  "CMakeFiles/probe4.dir/__/tools/probe4.cpp.o"
+  "CMakeFiles/probe4.dir/__/tools/probe4.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

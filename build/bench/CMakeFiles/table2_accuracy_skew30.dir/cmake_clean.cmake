@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_accuracy_skew30.dir/table2_accuracy_skew30.cpp.o"
+  "CMakeFiles/table2_accuracy_skew30.dir/table2_accuracy_skew30.cpp.o.d"
+  "table2_accuracy_skew30"
+  "table2_accuracy_skew30.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_accuracy_skew30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

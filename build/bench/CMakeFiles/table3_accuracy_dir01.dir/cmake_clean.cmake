@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_accuracy_dir01.dir/table3_accuracy_dir01.cpp.o"
+  "CMakeFiles/table3_accuracy_dir01.dir/table3_accuracy_dir01.cpp.o.d"
+  "table3_accuracy_dir01"
+  "table3_accuracy_dir01.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_accuracy_dir01.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_rounds_to_target.dir/table4_rounds_to_target.cpp.o"
+  "CMakeFiles/table4_rounds_to_target.dir/table4_rounds_to_target.cpp.o.d"
+  "table4_rounds_to_target"
+  "table4_rounds_to_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_rounds_to_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_comm_cost.dir/table5_comm_cost.cpp.o"
+  "CMakeFiles/table5_comm_cost.dir/table5_comm_cost.cpp.o.d"
+  "table5_comm_cost"
+  "table5_comm_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_comm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

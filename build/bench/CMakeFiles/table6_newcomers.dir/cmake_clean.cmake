@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_newcomers.dir/table6_newcomers.cpp.o"
+  "CMakeFiles/table6_newcomers.dir/table6_newcomers.cpp.o.d"
+  "table6_newcomers"
+  "table6_newcomers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_newcomers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

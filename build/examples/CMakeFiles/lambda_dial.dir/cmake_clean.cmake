@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda_dial.dir/lambda_dial.cpp.o"
+  "CMakeFiles/lambda_dial.dir/lambda_dial.cpp.o.d"
+  "lambda_dial"
+  "lambda_dial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda_dial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newcomer_dynamics.dir/newcomer_dynamics.cpp.o"
+  "CMakeFiles/newcomer_dynamics.dir/newcomer_dynamics.cpp.o.d"
+  "newcomer_dynamics"
+  "newcomer_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newcomer_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

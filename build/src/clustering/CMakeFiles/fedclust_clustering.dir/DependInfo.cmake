@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/distance.cpp" "src/clustering/CMakeFiles/fedclust_clustering.dir/distance.cpp.o" "gcc" "src/clustering/CMakeFiles/fedclust_clustering.dir/distance.cpp.o.d"
+  "/root/repo/src/clustering/hierarchical.cpp" "src/clustering/CMakeFiles/fedclust_clustering.dir/hierarchical.cpp.o" "gcc" "src/clustering/CMakeFiles/fedclust_clustering.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/clustering/metrics.cpp" "src/clustering/CMakeFiles/fedclust_clustering.dir/metrics.cpp.o" "gcc" "src/clustering/CMakeFiles/fedclust_clustering.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fedclust_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

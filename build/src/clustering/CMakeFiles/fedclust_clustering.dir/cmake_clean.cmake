@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedclust_clustering.dir/distance.cpp.o"
+  "CMakeFiles/fedclust_clustering.dir/distance.cpp.o.d"
+  "CMakeFiles/fedclust_clustering.dir/hierarchical.cpp.o"
+  "CMakeFiles/fedclust_clustering.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/fedclust_clustering.dir/metrics.cpp.o"
+  "CMakeFiles/fedclust_clustering.dir/metrics.cpp.o.d"
+  "libfedclust_clustering.a"
+  "libfedclust_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedclust_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

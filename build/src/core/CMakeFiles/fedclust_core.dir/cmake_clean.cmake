@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedclust_core.dir/fedclust.cpp.o"
+  "CMakeFiles/fedclust_core.dir/fedclust.cpp.o.d"
+  "CMakeFiles/fedclust_core.dir/registry.cpp.o"
+  "CMakeFiles/fedclust_core.dir/registry.cpp.o.d"
+  "libfedclust_core.a"
+  "libfedclust_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedclust_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedclust_data.dir/dataset.cpp.o"
+  "CMakeFiles/fedclust_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/fedclust_data.dir/partition.cpp.o"
+  "CMakeFiles/fedclust_data.dir/partition.cpp.o.d"
+  "CMakeFiles/fedclust_data.dir/synthetic.cpp.o"
+  "CMakeFiles/fedclust_data.dir/synthetic.cpp.o.d"
+  "libfedclust_data.a"
+  "libfedclust_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedclust_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fedclust_data.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/algorithm.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/algorithm.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/algorithm.cpp.o.d"
+  "/root/repo/src/fl/cfl.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/cfl.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/cfl.cpp.o.d"
+  "/root/repo/src/fl/client.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/client.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/client.cpp.o.d"
+  "/root/repo/src/fl/cluster_common.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/cluster_common.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/cluster_common.cpp.o.d"
+  "/root/repo/src/fl/comm.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/comm.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/comm.cpp.o.d"
+  "/root/repo/src/fl/ditto.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/ditto.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/ditto.cpp.o.d"
+  "/root/repo/src/fl/fedavg.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/fedavg.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/fedavg.cpp.o.d"
+  "/root/repo/src/fl/feddyn.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/feddyn.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/feddyn.cpp.o.d"
+  "/root/repo/src/fl/federation.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/federation.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/federation.cpp.o.d"
+  "/root/repo/src/fl/fednova.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/fednova.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/fednova.cpp.o.d"
+  "/root/repo/src/fl/fedopt.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/fedopt.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/fedopt.cpp.o.d"
+  "/root/repo/src/fl/flis.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/flis.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/flis.cpp.o.d"
+  "/root/repo/src/fl/ifca.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/ifca.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/ifca.cpp.o.d"
+  "/root/repo/src/fl/lg_fedavg.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/lg_fedavg.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/lg_fedavg.cpp.o.d"
+  "/root/repo/src/fl/local_only.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/local_only.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/local_only.cpp.o.d"
+  "/root/repo/src/fl/metrics.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/metrics.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/metrics.cpp.o.d"
+  "/root/repo/src/fl/pacfl.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/pacfl.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/pacfl.cpp.o.d"
+  "/root/repo/src/fl/perfedavg.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/perfedavg.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/perfedavg.cpp.o.d"
+  "/root/repo/src/fl/scaffold.cpp" "src/fl/CMakeFiles/fedclust_fl.dir/scaffold.cpp.o" "gcc" "src/fl/CMakeFiles/fedclust_fl.dir/scaffold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fedclust_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedclust_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/fedclust_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/fedclust_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedclust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedclust_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedclust_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/fedclust_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/fedclust_linalg.dir/principal_angles.cpp.o"
+  "CMakeFiles/fedclust_linalg.dir/principal_angles.cpp.o.d"
+  "CMakeFiles/fedclust_linalg.dir/svd.cpp.o"
+  "CMakeFiles/fedclust_linalg.dir/svd.cpp.o.d"
+  "libfedclust_linalg.a"
+  "libfedclust_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedclust_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/fedclust_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/fedclust_nn.dir/residual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fedclust_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedclust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

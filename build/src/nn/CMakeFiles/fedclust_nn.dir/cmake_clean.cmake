@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedclust_nn.dir/activations.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/dropout.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/init.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/init.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/linear.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/loss.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/model.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/model.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/module.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/module.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/norm.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/pooling.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/fedclust_nn.dir/residual.cpp.o"
+  "CMakeFiles/fedclust_nn.dir/residual.cpp.o.d"
+  "libfedclust_nn.a"
+  "libfedclust_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedclust_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

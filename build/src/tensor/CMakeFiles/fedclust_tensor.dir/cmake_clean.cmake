@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedclust_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/fedclust_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/fedclust_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/fedclust_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/fedclust_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fedclust_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/fedclust_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/fedclust_tensor.dir/tensor_ops.cpp.o.d"
+  "libfedclust_tensor.a"
+  "libfedclust_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedclust_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedclust_util.dir/config.cpp.o"
+  "CMakeFiles/fedclust_util.dir/config.cpp.o.d"
+  "CMakeFiles/fedclust_util.dir/logging.cpp.o"
+  "CMakeFiles/fedclust_util.dir/logging.cpp.o.d"
+  "CMakeFiles/fedclust_util.dir/rng.cpp.o"
+  "CMakeFiles/fedclust_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fedclust_util.dir/serialization.cpp.o"
+  "CMakeFiles/fedclust_util.dir/serialization.cpp.o.d"
+  "CMakeFiles/fedclust_util.dir/stats.cpp.o"
+  "CMakeFiles/fedclust_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fedclust_util.dir/table.cpp.o"
+  "CMakeFiles/fedclust_util.dir/table.cpp.o.d"
+  "CMakeFiles/fedclust_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fedclust_util.dir/thread_pool.cpp.o.d"
+  "libfedclust_util.a"
+  "libfedclust_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedclust_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_algorithms_test.dir/cluster_algorithms_test.cpp.o"
+  "CMakeFiles/cluster_algorithms_test.dir/cluster_algorithms_test.cpp.o.d"
+  "cluster_algorithms_test"
+  "cluster_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedclust_test.dir/fedclust_test.cpp.o"
+  "CMakeFiles/fedclust_test.dir/fedclust_test.cpp.o.d"
+  "fedclust_test"
+  "fedclust_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedclust_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_test.dir/fl_test.cpp.o"
+  "CMakeFiles/fl_test.dir/fl_test.cpp.o.d"
+  "fl_test"
+  "fl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
