@@ -9,6 +9,8 @@
 #include "clustering/hierarchical.h"
 #include "data/partition.h"
 #include "fl/client.h"
+#include "fl/fedavg.h"
+#include "fl/federation.h"
 #include "linalg/principal_angles.h"
 #include "linalg/svd.h"
 #include "nn/loss.h"
@@ -17,6 +19,7 @@
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -173,6 +176,63 @@ void BM_ClientLocalTraining(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClientLocalTraining);
+
+// Round-level client parallelism: clients/sec for a full FedAvg round (20
+// sampled clients training concurrently) as the worker count sweeps 1, 2, 4
+// and the hardware default. Items/sec is clients/sec against wall time; on
+// a single-core host the >1-thread rows measure pure scheduling overhead
+// rather than speedup.
+class BenchFedAvg : public fl::FedAvg {
+ public:
+  using fl::FedAvg::FedAvg;
+  using fl::FedAvg::round;
+  using fl::FedAvg::setup;
+};
+
+void BM_RoundThroughput(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  util::reset_global_pool(threads);
+
+  fl::ExperimentConfig cfg;
+  cfg.data_spec = data::dataset_spec("cifar10");
+  cfg.data_spec.hw = 8;
+  cfg.fed.n_clients = 50;
+  cfg.fed.train_per_client = 12;
+  cfg.fed.test_per_client = 4;
+  cfg.fed.partition = "dirichlet";
+  cfg.fed.dirichlet_alpha = 0.3;
+  cfg.model.arch = "mlp";
+  cfg.model.in_channels = 3;
+  cfg.model.image_hw = 8;
+  cfg.model.num_classes = 10;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 6;
+  cfg.local.lr = 0.05f;
+  cfg.sample_fraction = 0.4;  // 20 clients per round
+  cfg.seed = 1;
+
+  fl::Federation fed(cfg);
+  BenchFedAvg algo(fed);
+  algo.setup();
+  const std::size_t clients_per_round = fed.sample_round(0).size();
+
+  std::size_t r = 0;
+  for (auto _ : state) {
+    algo.round(r++);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(clients_per_round));
+  state.counters["clients_per_round"] =
+      static_cast<double>(clients_per_round);
+  util::reset_global_pool(1);
+}
+BENCHMARK(BM_RoundThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)  // 0 = hardware concurrency
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

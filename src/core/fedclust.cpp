@@ -6,6 +6,7 @@
 #include "clustering/distance.h"
 #include "clustering/hierarchical.h"
 #include "fl/cluster_common.h"
+#include "fl/parallel_round.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -14,8 +15,7 @@ namespace fedclust::core {
 FedClust::FedClust(fl::Federation& fed) : FlAlgorithm(fed) {}
 
 std::vector<float> FedClust::partial_weights_after_warmup(
-    const fl::SimClient& client, util::Rng rng) {
-  nn::Model& ws = fed_.workspace();
+    nn::Model& ws, const fl::SimClient& client, util::Rng rng) {
   ws.set_flat_params(fed_.init_params());
   fl::LocalTrainOptions warmup = fed_.cfg().local;
   warmup.epochs = std::max<std::size_t>(1, fed_.cfg().algo.fedclust_init_epochs);
@@ -31,15 +31,16 @@ void FedClust::setup() {
   const std::size_t p = fed_.model_size();
 
   // Round 0: broadcast θ0 to every available client; each sends back only
-  // the updated final-layer weights.
-  std::vector<std::vector<float>> partials;
-  partials.reserve(n);
-  for (std::size_t c = 0; c < n; ++c) {
+  // the updated final-layer weights. The warmups are the expensive part of
+  // setup (every client trains), so they run client-parallel.
+  std::vector<std::vector<float>> partials(n);
+  fl::ParallelRoundRunner runner(fed_);
+  runner.for_each_index(n, [&](std::size_t c, nn::Model& ws) {
     fed_.comm().download_floats(p);
-    partials.push_back(partial_weights_after_warmup(
-        fed_.client(c), fed_.train_rng(c, 0xFEDC0000)));
-    fed_.comm().upload_floats(partials.back().size());
-  }
+    partials[c] = partial_weights_after_warmup(
+        ws, fed_.client(c), fed_.train_rng(c, 0xFEDC0000));
+    fed_.comm().upload_floats(partials[c].size());
+  });
 
   // Proximity matrix M (Eq. 3; cosine available for the metric ablation)
   // and one-shot HC(M, λ).
@@ -104,7 +105,8 @@ std::size_t FedClust::assign_newcomer(const fl::SimClient& newcomer,
   }
   // The newcomer receives θ0, trains briefly, and uploads partial weights.
   fed_.comm().download_floats(fed_.model_size());
-  const auto partial = partial_weights_after_warmup(newcomer, rng);
+  const auto partial =
+      partial_weights_after_warmup(fed_.workspace(), newcomer, rng);
   fed_.comm().upload_floats(partial.size());
 
   // Eq. 4: nearest stored cluster centroid in L2.

@@ -62,9 +62,10 @@ class FedClust : public fl::FlAlgorithm {
   }
 
  private:
-  // Trains θ0 on the given client data for the init epochs and returns the
-  // classifier slice of the result.
-  std::vector<float> partial_weights_after_warmup(const fl::SimClient& client,
+  // Trains θ0 on the given client data for the init epochs through the
+  // given workspace and returns the classifier slice of the result.
+  std::vector<float> partial_weights_after_warmup(nn::Model& ws,
+                                                  const fl::SimClient& client,
                                                   util::Rng rng);
 
   ClusteringReport report_;

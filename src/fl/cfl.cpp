@@ -5,6 +5,7 @@
 #include "clustering/distance.h"
 #include "clustering/hierarchical.h"
 #include "fl/cluster_common.h"
+#include "fl/parallel_round.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -19,24 +20,31 @@ void Cfl::setup() {
 
 void Cfl::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
-  nn::Model& ws = fed_.workspace();
   const std::size_t p = fed_.model_size();
 
-  // Per-cluster training on the sampled clients, keeping the raw updates
+  // Client-parallel training; assignment_ and cluster_models_ are
+  // round-constant during the fan-out.
+  ParallelRoundRunner runner(fed_);
+  const auto results = runner.train_clients(
+      sampled, [&](std::size_t, std::size_t c) {
+        RoundTrainJob job;
+        job.start = &cluster_models_[assignment_[c]];
+        job.opts = fed_.cfg().local;
+        job.rng = fed_.train_rng(c, r);
+        job.download_floats = p;
+        job.upload_floats = p;
+        return job;
+      });
+
+  // Group per cluster in client-index order, keeping the raw updates
   // around for the split criterion.
-  std::vector<std::vector<std::vector<float>>> updates(
+  std::vector<std::vector<const std::vector<float>*>> updates(
       cluster_models_.size());
   std::vector<std::vector<double>> weights(cluster_models_.size());
-  std::vector<std::vector<float>> deltas_norms(cluster_models_.size());
-
-  for (const std::size_t c : sampled) {
-    const std::size_t k = assignment_[c];
-    fed_.comm().download_floats(p);
-    ws.set_flat_params(cluster_models_[k]);
-    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
-    fed_.comm().upload_floats(p);
-    updates[k].push_back(ws.flat_params());
-    weights[k].push_back(static_cast<double>(fed_.client(c).n_train()));
+  for (const auto& res : results) {
+    const std::size_t k = assignment_[res.client];
+    updates[k].push_back(&res.params);
+    weights[k].push_back(res.weight);
   }
 
   std::vector<std::size_t> to_split;
@@ -45,9 +53,11 @@ void Cfl::round(std::size_t r) {
 
     // Update norms relative to the aggregate: Sattler's congruence check.
     std::vector<std::vector<float>> deltas;
-    for (const auto& w : updates[k]) {
+    for (const auto* w : updates[k]) {
       std::vector<float> d(p);
-      for (std::size_t j = 0; j < p; ++j) d[j] = w[j] - cluster_models_[k][j];
+      for (std::size_t j = 0; j < p; ++j) {
+        d[j] = (*w)[j] - cluster_models_[k][j];
+      }
       deltas.push_back(std::move(d));
     }
     std::vector<float> mean_delta(p, 0.0f);
@@ -66,7 +76,7 @@ void Cfl::round(std::size_t r) {
     // Aggregate as usual.
     std::vector<std::pair<const std::vector<float>*, double>> entries;
     for (std::size_t i = 0; i < updates[k].size(); ++i) {
-      entries.emplace_back(&updates[k][i], weights[k][i]);
+      entries.emplace_back(updates[k][i], weights[k][i]);
     }
     cluster_models_[k] = weighted_average(entries);
 
@@ -95,16 +105,22 @@ void Cfl::split_cluster(std::size_t k, std::size_t round) {
   }
   if (members.size() < 2) return;
 
-  nn::Model& ws = fed_.workspace();
   const std::size_t p = fed_.model_size();
+  ParallelRoundRunner runner(fed_);
+  auto results = runner.train_clients(
+      members, [&](std::size_t, std::size_t c) {
+        RoundTrainJob job;
+        job.start = &cluster_models_[k];
+        job.opts = fed_.cfg().local;
+        job.rng = fed_.train_rng(c, 0xCF1000 + round);
+        job.download_floats = p;
+        job.upload_floats = p;
+        return job;
+      });
   std::vector<std::vector<float>> deltas;
-  for (const std::size_t c : members) {
-    fed_.comm().download_floats(p);
-    ws.set_flat_params(cluster_models_[k]);
-    fed_.client(c).train(ws, fed_.cfg().local,
-                         fed_.train_rng(c, 0xCF1000 + round));
-    fed_.comm().upload_floats(p);
-    auto w = ws.flat_params();
+  deltas.reserve(results.size());
+  for (auto& res : results) {
+    auto w = std::move(res.params);
     for (std::size_t j = 0; j < p; ++j) w[j] -= cluster_models_[k][j];
     deltas.push_back(std::move(w));
   }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "fl/parallel_round.h"
+
 namespace fedclust::fl {
 
 void cluster_fedavg_round(Federation& fed, std::size_t round,
@@ -11,35 +13,38 @@ void cluster_fedavg_round(Federation& fed, std::size_t round,
     throw std::invalid_argument("cluster_fedavg_round: bad assignment size");
   }
   const auto sampled = fed.sample_round(round);
-  nn::Model& ws = fed.workspace();
   const std::size_t p = fed.model_size();
-
-  // cluster -> (params, weight) gathered this round.
-  std::vector<std::vector<std::vector<float>>> updates(cluster_models.size());
-  std::vector<std::vector<double>> weights(cluster_models.size());
-
   for (const std::size_t c : sampled) {
-    const std::size_t k = assignment[c];
-    if (k >= cluster_models.size()) {
+    if (assignment[c] >= cluster_models.size()) {
       throw std::invalid_argument("cluster_fedavg_round: assignment OOB");
     }
-    // Client announces its cluster id (negligible) and receives that
-    // cluster's model.
-    fed.comm().download_floats(p);
-    ws.set_flat_params(cluster_models[k]);
-    fed.client(c).train(ws, fed.cfg().local, fed.train_rng(c, round));
-    fed.comm().upload_floats(p);
-    updates[k].push_back(ws.flat_params());
-    weights[k].push_back(static_cast<double>(fed.client(c).n_train()));
   }
 
+  // Client announces its cluster id (negligible) and receives that
+  // cluster's model; assignment and cluster models are round-constant
+  // during the fan-out.
+  ParallelRoundRunner runner(fed);
+  const auto results = runner.train_clients(
+      sampled, [&](std::size_t, std::size_t c) {
+        RoundTrainJob job;
+        job.start = &cluster_models[assignment[c]];
+        job.opts = fed.cfg().local;
+        job.rng = fed.train_rng(c, round);
+        job.download_floats = p;
+        job.upload_floats = p;
+        return job;
+      });
+
+  // cluster -> (params, weight) grouped in client-index order.
+  std::vector<std::vector<std::pair<const std::vector<float>*, double>>>
+      per_cluster(cluster_models.size());
+  for (const auto& res : results) {
+    per_cluster[assignment[res.client]].emplace_back(&res.params,
+                                                     res.weight);
+  }
   for (std::size_t k = 0; k < cluster_models.size(); ++k) {
-    if (updates[k].empty()) continue;  // no member sampled: model unchanged
-    std::vector<std::pair<const std::vector<float>*, double>> entries;
-    for (std::size_t i = 0; i < updates[k].size(); ++i) {
-      entries.emplace_back(&updates[k][i], weights[k][i]);
-    }
-    cluster_models[k] = weighted_average(entries);
+    if (per_cluster[k].empty()) continue;  // no member sampled: unchanged
+    cluster_models[k] = weighted_average(per_cluster[k]);
   }
 }
 

@@ -3,7 +3,12 @@
 // First-class communication accounting. Every parameter transfer in the
 // simulator goes through a CommTracker, so Table 5's "Mb to reach target
 // accuracy" is measured, not estimated.
+//
+// Counters are relaxed atomics: client-parallel rounds account transfers
+// from worker threads concurrently, and byte totals are pure commutative
+// sums, so relaxed increments keep the counts exact at any thread count.
 
+#include <atomic>
 #include <cstdint>
 
 namespace fedclust::fl {
@@ -11,26 +16,34 @@ namespace fedclust::fl {
 class CommTracker {
  public:
   // Client -> server transfer of n float32 values.
-  void upload_floats(std::uint64_t n) { bytes_up_ += n * 4; }
+  void upload_floats(std::uint64_t n) {
+    bytes_up_.fetch_add(n * 4, std::memory_order_relaxed);
+  }
   // Server -> client transfer.
-  void download_floats(std::uint64_t n) { bytes_down_ += n * 4; }
+  void download_floats(std::uint64_t n) {
+    bytes_down_.fetch_add(n * 4, std::memory_order_relaxed);
+  }
 
-  std::uint64_t bytes_up() const { return bytes_up_; }
-  std::uint64_t bytes_down() const { return bytes_down_; }
-  std::uint64_t bytes_total() const { return bytes_up_ + bytes_down_; }
+  std::uint64_t bytes_up() const {
+    return bytes_up_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_down() const {
+    return bytes_down_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_total() const { return bytes_up() + bytes_down(); }
   // Megabits, the unit of the paper's Table 5.
   double total_mb() const {
     return static_cast<double>(bytes_total()) * 8.0 / 1e6;
   }
 
   void reset() {
-    bytes_up_ = 0;
-    bytes_down_ = 0;
+    bytes_up_.store(0, std::memory_order_relaxed);
+    bytes_down_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::uint64_t bytes_up_ = 0;
-  std::uint64_t bytes_down_ = 0;
+  std::atomic<std::uint64_t> bytes_up_{0};
+  std::atomic<std::uint64_t> bytes_down_{0};
 };
 
 }  // namespace fedclust::fl

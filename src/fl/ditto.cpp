@@ -1,5 +1,7 @@
 #include "fl/ditto.h"
 
+#include "fl/parallel_round.h"
+
 namespace fedclust::fl {
 
 Ditto::Ditto(Federation& fed, float lambda)
@@ -12,30 +14,32 @@ void Ditto::setup() {
 
 void Ditto::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
-  nn::Model& ws = fed_.workspace();
   const std::size_t p = fed_.model_size();
 
-  std::vector<std::vector<float>> updates;
-  std::vector<double> weights;
-  for (const std::size_t c : sampled) {
+  LocalTrainOptions prox_opts = fed_.cfg().local;
+  prox_opts.prox_mu = lambda_;
+
+  std::vector<std::vector<float>> updates(sampled.size());
+  std::vector<double> weights(sampled.size());
+  ParallelRoundRunner runner(fed_);
+  runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
+                                      nn::Model& ws) {
     fed_.comm().download_floats(p);
 
     // (1) Global-objective step: plain FedAvg local training.
     ws.set_flat_params(global_);
     fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
-    updates.push_back(ws.flat_params());
-    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
+    updates[idx] = ws.flat_params();
+    weights[idx] = static_cast<double>(fed_.client(c).n_train());
     fed_.comm().upload_floats(p);
 
     // (2) Personal-objective step: prox-regularized training of v_i toward
     // the global model it just downloaded. Stays on-device: no extra comm.
-    LocalTrainOptions prox_opts = fed_.cfg().local;
-    prox_opts.prox_mu = lambda_;
     ws.set_flat_params(personal_[c]);
     fed_.client(c).train(ws, prox_opts, fed_.train_rng(c, 0xD177000 + r),
                          &global_);
     personal_[c] = ws.flat_params();
-  }
+  });
 
   std::vector<std::pair<const std::vector<float>*, double>> entries;
   for (std::size_t i = 0; i < updates.size(); ++i) {

@@ -1,5 +1,7 @@
 #include "fl/fedavg.h"
 
+#include "fl/parallel_round.h"
+
 namespace fedclust::fl {
 
 FedAvg::FedAvg(Federation& fed, float prox_mu)
@@ -9,31 +11,25 @@ void FedAvg::setup() { global_ = fed_.init_params(); }
 
 void FedAvg::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
-  nn::Model& ws = fed_.workspace();
   const std::size_t p = fed_.model_size();
-
-  std::vector<std::vector<float>> updates;
-  std::vector<double> weights;
-  updates.reserve(sampled.size());
 
   LocalTrainOptions opts = fed_.cfg().local;
   opts.prox_mu = prox_mu_;
 
-  for (const std::size_t c : sampled) {
-    fed_.comm().download_floats(p);  // server -> client: global model
-    ws.set_flat_params(global_);
-    fed_.client(c).train(ws, opts, fed_.train_rng(c, r),
-                         prox_mu_ > 0.0f ? &global_ : nullptr);
-    fed_.comm().upload_floats(p);  // client -> server: updated model
-    updates.push_back(ws.flat_params());
-    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
-  }
+  ParallelRoundRunner runner(fed_);
+  const auto results = runner.train_clients(
+      sampled, [&](std::size_t, std::size_t c) {
+        RoundTrainJob job;
+        job.start = &global_;  // server -> client: global model
+        job.opts = opts;
+        job.rng = fed_.train_rng(c, r);
+        job.prox_ref = prox_mu_ > 0.0f ? &global_ : nullptr;
+        job.download_floats = p;
+        job.upload_floats = p;  // client -> server: updated model
+        return job;
+      });
 
-  std::vector<std::pair<const std::vector<float>*, double>> entries;
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    entries.emplace_back(&updates[i], weights[i]);
-  }
-  global_ = weighted_average(entries);
+  global_ = weighted_average(to_entries(results));
 }
 
 double FedAvg::evaluate_all() {

@@ -1,5 +1,7 @@
 #include "fl/feddyn.h"
 
+#include "fl/parallel_round.h"
+
 namespace fedclust::fl {
 
 FedDyn::FedDyn(Federation& fed, float alpha)
@@ -14,7 +16,6 @@ void FedDyn::setup() {
 
 void FedDyn::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
-  nn::Model& ws = fed_.workspace();
   const std::size_t p = fed_.model_size();
 
   // The dynamic regularizer decomposes into a constant gradient offset
@@ -23,28 +24,33 @@ void FedDyn::round(std::size_t r) {
   LocalTrainOptions opts = fed_.cfg().local;
   opts.prox_mu = alpha_;
 
-  std::vector<std::vector<float>> updates;
-  std::vector<double> weights;
-  for (const std::size_t c : sampled) {
-    fed_.comm().download_floats(p);
-    std::vector<float> offset(p);
-    for (std::size_t j = 0; j < p; ++j) offset[j] = -h_client_[c][j];
-    ws.set_flat_params(global_);
-    fed_.client(c).train(ws, opts, fed_.train_rng(c, r), &global_, &offset);
-    const auto local = ws.flat_params();
+  ParallelRoundRunner runner(fed_);
+  const auto results = runner.train_clients(
+      sampled, [&](std::size_t, std::size_t c) {
+        RoundTrainJob job;
+        job.start = &global_;
+        job.opts = opts;
+        job.rng = fed_.train_rng(c, r);
+        job.prox_ref = &global_;
+        std::vector<float> offset(p);
+        for (std::size_t j = 0; j < p; ++j) offset[j] = -h_client_[c][j];
+        job.grad_offset = std::move(offset);
+        job.download_floats = p;
+        job.upload_floats = p;
+        return job;
+      });
+
+  // Lagged-gradient refresh per participant (each client's h is touched by
+  // at most one result, so index order is just the sequential order).
+  for (const auto& res : results) {
+    const auto& local = res.params;
+    auto& h = h_client_[res.client];
     for (std::size_t j = 0; j < p; ++j) {
-      h_client_[c][j] -= alpha_ * (local[j] - global_[j]);
+      h[j] -= alpha_ * (local[j] - global_[j]);
     }
-    fed_.comm().upload_floats(p);
-    updates.push_back(local);
-    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
   }
 
-  std::vector<std::pair<const std::vector<float>*, double>> entries;
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    entries.emplace_back(&updates[i], weights[i]);
-  }
-  const auto mean_w = weighted_average(entries);
+  const auto mean_w = weighted_average(to_entries(results));
 
   // h <- h - alpha * (|S|/N) * (mean(w_i) - theta); theta <- mean - h/alpha.
   const double frac = static_cast<double>(sampled.size()) /

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fl/parallel_round.h"
+
 namespace fedclust::fl {
 
 namespace {
@@ -38,6 +40,31 @@ nn::Model Federation::make_model(std::uint64_t salt) const {
   return nn::build_model(cfg_.model, cfg_.seed ^ (salt * 0x9e3779b9ULL + 1));
 }
 
+nn::Model* Federation::acquire_workspace() {
+  {
+    const std::lock_guard<std::mutex> lock(ws_mu_);
+    if (!ws_free_.empty()) {
+      nn::Model* m = ws_free_.back();
+      ws_free_.pop_back();
+      return m;
+    }
+  }
+  // Build outside the lock so concurrent first acquisitions don't serialize
+  // on model construction. Initial weights are irrelevant: every user loads
+  // parameters before touching the replica.
+  auto replica = std::make_unique<nn::Model>(
+      nn::build_model(cfg_.model, cfg_.seed));
+  nn::Model* m = replica.get();
+  const std::lock_guard<std::mutex> lock(ws_mu_);
+  ws_owned_.push_back(std::move(replica));
+  return m;
+}
+
+void Federation::release_workspace(nn::Model* m) {
+  const std::lock_guard<std::mutex> lock(ws_mu_);
+  ws_free_.push_back(m);
+}
+
 std::vector<std::size_t> Federation::sample_round(std::size_t round) const {
   const std::size_t n = clients_.size();
   const auto want = static_cast<std::size_t>(
@@ -66,21 +93,23 @@ util::Rng Federation::train_rng(std::size_t client, std::size_t round) const {
 
 double Federation::average_local_accuracy(
     const std::function<const std::vector<float>&(std::size_t)>& params_of) {
+  // Per-client accuracies are computed (possibly in parallel) into indexed
+  // slots, then reduced on one thread in ascending client order — the same
+  // floating-point summation the sequential loop performed.
+  const auto accs = local_accuracy_distribution(params_of);
   double sum = 0.0;
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
-    workspace_.set_flat_params(params_of(i));
-    sum += clients_[i].evaluate(workspace_);
-  }
+  for (const double a : accs) sum += a;
   return sum / static_cast<double>(clients_.size());
 }
 
 std::vector<double> Federation::local_accuracy_distribution(
     const std::function<const std::vector<float>&(std::size_t)>& params_of) {
   std::vector<double> accs(clients_.size());
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
-    workspace_.set_flat_params(params_of(i));
-    accs[i] = clients_[i].evaluate(workspace_);
-  }
+  ParallelRoundRunner(*this).for_each_index(
+      clients_.size(), [&](std::size_t i, nn::Model& ws) {
+        ws.set_flat_params(params_of(i));
+        accs[i] = clients_[i].evaluate(ws);
+      });
   return accs;
 }
 

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -104,18 +106,35 @@ class Federation {
   // Fresh model with architecture cfg.model (weights seeded by salt).
   nn::Model make_model(std::uint64_t salt) const;
 
-  // The reusable workspace model algorithms load parameters into.
+  // The reusable workspace model algorithms load parameters into (the
+  // sequential path; concurrent client work leases replicas instead).
   nn::Model& workspace() { return workspace_; }
+
+  // Thread-safe checkout of a model replica for concurrent client work.
+  // Replicas share the architecture of workspace() and are grown lazily, at
+  // most one per in-flight worker; callers must load parameters with
+  // set_flat_params before use. Model behavior is fully determined by the
+  // flat parameter vector for every zoo architecture (no hidden per-model
+  // state like Dropout RNG streams or BatchNorm running stats), which is
+  // what makes replicas interchangeable with the shared workspace — keep it
+  // that way when adding layers, or thread-count invariance breaks.
+  nn::Model* acquire_workspace();
+  void release_workspace(nn::Model* m);
 
   // max(R*N, 1) distinct client ids for the given round, minus dropouts
   // (cfg().dropout_prob); deterministic in (seed, round), never empty.
   std::vector<std::size_t> sample_round(std::size_t round) const;
 
-  // Deterministic RNG stream for (client, round) local training.
+  // Deterministic RNG stream for (client, round) local training. Thread-safe:
+  // splitting is a pure function of (seed, client, round), so concurrent
+  // workers can derive their streams without synchronization.
   util::Rng train_rng(std::size_t client, std::size_t round) const;
 
   // Mean local-test accuracy over all clients, where params_of(i) supplies
-  // the flat parameter vector client i should be evaluated with.
+  // the flat parameter vector client i should be evaluated with. The sweep
+  // runs client-parallel; params_of must be safe to call concurrently for
+  // distinct i (return refs to per-client or immutable storage, never to a
+  // shared scratch buffer).
   double average_local_accuracy(
       const std::function<const std::vector<float>&(std::size_t)>& params_of);
 
@@ -130,6 +149,29 @@ class Federation {
   CommTracker comm_;
   nn::Model workspace_;
   std::vector<float> init_params_;
+
+  // Lazily grown pool of workspace replicas for client-parallel execution.
+  std::mutex ws_mu_;
+  std::vector<std::unique_ptr<nn::Model>> ws_owned_;
+  std::vector<nn::Model*> ws_free_;
+};
+
+// RAII lease on a workspace replica; used by the parallel round executor's
+// worker chunks.
+class WorkspaceLease {
+ public:
+  explicit WorkspaceLease(Federation& fed)
+      : fed_(fed), model_(fed.acquire_workspace()) {}
+  ~WorkspaceLease() { fed_.release_workspace(model_); }
+
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  nn::Model& model() { return *model_; }
+
+ private:
+  Federation& fed_;
+  nn::Model* model_;
 };
 
 // n_i-weighted average of client parameter vectors (FedAvg aggregation).

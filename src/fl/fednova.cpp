@@ -1,5 +1,7 @@
 #include "fl/fednova.h"
 
+#include "fl/parallel_round.h"
+
 namespace fedclust::fl {
 
 FedNova::FedNova(Federation& fed) : FlAlgorithm(fed) {}
@@ -8,34 +10,33 @@ void FedNova::setup() { global_ = fed_.init_params(); }
 
 void FedNova::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
-  nn::Model& ws = fed_.workspace();
   const std::size_t p = fed_.model_size();
 
-  // Accumulate sum_i p_i d_i and tau_eff in one pass.
+  ParallelRoundRunner runner(fed_);
+  const auto results = runner.train_clients(
+      sampled, [&](std::size_t, std::size_t c) {
+        RoundTrainJob job;
+        job.start = &global_;
+        job.opts = fed_.cfg().local;
+        job.rng = fed_.train_rng(c, r);
+        job.download_floats = p;
+        job.upload_floats = p;
+        return job;
+      });
+
+  // Accumulate sum_i p_i d_i and tau_eff in one pass (client-index order).
   std::vector<double> direction(p, 0.0);
   double total_weight = 0.0;
+  for (const auto& res : results) total_weight += res.weight;
+
   double tau_eff = 0.0;
-
-  std::vector<double> weights;
-  std::vector<double> taus;
-  std::vector<std::vector<float>> locals;
-  for (const std::size_t c : sampled) {
-    fed_.comm().download_floats(p);
-    ws.set_flat_params(global_);
-    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
-    fed_.comm().upload_floats(p);
-    locals.push_back(ws.flat_params());
-    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
-    taus.push_back(
-        static_cast<double>(fed_.client(c).local_steps(fed_.cfg().local)));
-    total_weight += weights.back();
-  }
-
-  for (std::size_t i = 0; i < locals.size(); ++i) {
-    const double pi = weights[i] / total_weight;
-    tau_eff += pi * taus[i];
-    const double inv_tau = 1.0 / taus[i];
-    const auto& w = locals[i];
+  for (const auto& res : results) {
+    const double pi = res.weight / total_weight;
+    const double tau = static_cast<double>(
+        fed_.client(res.client).local_steps(fed_.cfg().local));
+    tau_eff += pi * tau;
+    const double inv_tau = 1.0 / tau;
+    const auto& w = res.params;
     for (std::size_t j = 0; j < p; ++j) {
       direction[j] +=
           pi * inv_tau * (static_cast<double>(global_[j]) - w[j]);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fl/parallel_round.h"
+
 namespace fedclust::fl {
 
 FedOpt::FedOpt(Federation& fed, FedOptOptions opts)
@@ -21,24 +23,20 @@ void FedOpt::setup() {
 
 void FedOpt::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
-  nn::Model& ws = fed_.workspace();
   const std::size_t p = fed_.model_size();
 
-  std::vector<std::vector<float>> updates;
-  std::vector<double> weights;
-  for (const std::size_t c : sampled) {
-    fed_.comm().download_floats(p);
-    ws.set_flat_params(global_);
-    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
-    fed_.comm().upload_floats(p);
-    updates.push_back(ws.flat_params());
-    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
-  }
-  std::vector<std::pair<const std::vector<float>*, double>> entries;
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    entries.emplace_back(&updates[i], weights[i]);
-  }
-  const auto mean_w = weighted_average(entries);
+  ParallelRoundRunner runner(fed_);
+  const auto results = runner.train_clients(
+      sampled, [&](std::size_t, std::size_t c) {
+        RoundTrainJob job;
+        job.start = &global_;
+        job.opts = fed_.cfg().local;
+        job.rng = fed_.train_rng(c, r);
+        job.download_floats = p;
+        job.upload_floats = p;
+        return job;
+      });
+  const auto mean_w = weighted_average(to_entries(results));
 
   // Pseudo-gradient = aggregated movement away from the current global.
   for (std::size_t j = 0; j < p; ++j) {

@@ -4,6 +4,7 @@
 #include "clustering/hierarchical.h"
 #include "data/synthetic.h"
 #include "fl/cluster_common.h"
+#include "fl/parallel_round.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -32,21 +33,21 @@ void Flis::setup() {
   const auto proxy_images = proxy.batch_images(all);
 
   // Each client warms up from θ0 and reports its softmax profile over the
-  // proxy set.
-  nn::Model& ws = fed_.workspace();
+  // proxy set; the warmups run client-parallel like every other all-client
+  // sweep.
   const std::size_t p = fed_.model_size();
-  std::vector<std::vector<float>> profiles;
-  profiles.reserve(n);
-  for (std::size_t c = 0; c < n; ++c) {
+  std::vector<std::vector<float>> profiles(n);
+  ParallelRoundRunner runner(fed_);
+  runner.for_each_index(n, [&](std::size_t c, nn::Model& ws) {
     fed_.comm().download_floats(p);
     ws.set_flat_params(fed_.init_params());
     fed_.client(c).train(ws, fed_.cfg().local,
                          fed_.train_rng(c, 0xF1150000));
     auto logits = ws.forward(proxy_images);
     tensor::softmax_rows_(logits);
-    profiles.push_back(logits.vec());
-    fed_.comm().upload_floats(profiles.back().size());
-  }
+    profiles[c] = logits.vec();
+    fed_.comm().upload_floats(profiles[c].size());
+  });
 
   const auto dist = clustering::cosine_distance_matrix(profiles);
   const auto dendro =

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "fl/parallel_round.h"
+
 namespace fedclust::fl {
 
 Ifca::Ifca(Federation& fed) : FlAlgorithm(fed) {}
@@ -17,8 +19,8 @@ void Ifca::setup() {
   }
 }
 
-std::size_t Ifca::select_cluster_for(const SimClient& client) {
-  nn::Model& ws = fed_.workspace();
+std::size_t Ifca::select_cluster_with(nn::Model& ws,
+                                      const SimClient& client) {
   float best = std::numeric_limits<float>::infinity();
   std::size_t best_k = 0;
   for (std::size_t k = 0; k < models_.size(); ++k) {
@@ -32,47 +34,59 @@ std::size_t Ifca::select_cluster_for(const SimClient& client) {
   return best_k;
 }
 
+std::size_t Ifca::select_cluster_for(const SimClient& client) {
+  return select_cluster_with(fed_.workspace(), client);
+}
+
 std::size_t Ifca::select_cluster(std::size_t c) {
   return select_cluster_for(fed_.client(c));
 }
 
 void Ifca::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
-  nn::Model& ws = fed_.workspace();
   const std::size_t p = fed_.model_size();
 
-  std::vector<std::vector<std::vector<float>>> updates(models_.size());
-  std::vector<std::vector<double>> weights(models_.size());
-
-  for (const std::size_t c : sampled) {
+  // Selection + training per client; the chosen cluster ids come back in
+  // client-index order so per-cluster grouping matches the sequential run.
+  std::vector<std::size_t> chosen(sampled.size());
+  std::vector<std::vector<float>> locals(sampled.size());
+  std::vector<double> weights(sampled.size());
+  ParallelRoundRunner runner(fed_);
+  runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
+                                      nn::Model& ws) {
     // The client needs every cluster model to choose: K model downloads.
     fed_.comm().download_floats(p * models_.size());
-    const std::size_t k = select_cluster(c);
+    const std::size_t k = select_cluster_with(ws, fed_.client(c));
     ws.set_flat_params(models_[k]);
     fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
     fed_.comm().upload_floats(p);  // trained model + cluster id
-    updates[k].push_back(ws.flat_params());
-    weights[k].push_back(static_cast<double>(fed_.client(c).n_train()));
-  }
+    chosen[idx] = k;
+    locals[idx] = ws.flat_params();
+    weights[idx] = static_cast<double>(fed_.client(c).n_train());
+  });
 
+  std::vector<std::vector<std::pair<const std::vector<float>*, double>>>
+      per_cluster(models_.size());
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    per_cluster[chosen[i]].emplace_back(&locals[i], weights[i]);
+  }
   for (std::size_t k = 0; k < models_.size(); ++k) {
-    if (updates[k].empty()) continue;
-    std::vector<std::pair<const std::vector<float>*, double>> entries;
-    for (std::size_t i = 0; i < updates[k].size(); ++i) {
-      entries.emplace_back(&updates[k][i], weights[k][i]);
-    }
-    models_[k] = weighted_average(entries);
+    if (per_cluster[k].empty()) continue;
+    models_[k] = weighted_average(per_cluster[k]);
   }
 }
 
 double Ifca::evaluate_all() {
   // Each client evaluates with the cluster model it would select.
-  nn::Model& ws = fed_.workspace();
+  std::vector<double> accs(fed_.n_clients());
+  ParallelRoundRunner runner(fed_);
+  runner.for_each_index(fed_.n_clients(), [&](std::size_t c, nn::Model& ws) {
+    const std::size_t k = select_cluster_with(ws, fed_.client(c));
+    ws.set_flat_params(models_[k]);
+    accs[c] = fed_.client(c).evaluate(ws);
+  });
   double sum = 0.0;
-  for (std::size_t c = 0; c < fed_.n_clients(); ++c) {
-    ws.set_flat_params(models_[select_cluster(c)]);
-    sum += fed_.client(c).evaluate(ws);
-  }
+  for (const double a : accs) sum += a;
   return sum / static_cast<double>(fed_.n_clients());
 }
 

@@ -29,6 +29,9 @@ class Ifca : public FlAlgorithm {
   std::size_t current_clusters() const override { return models_.size(); }
 
  private:
+  // argmin_k train_loss(model_k) evaluated through an explicit workspace —
+  // the form worker threads use with their leased replicas.
+  std::size_t select_cluster_with(nn::Model& ws, const SimClient& client);
   // argmin_k train_loss(model_k) for client c of the federation.
   std::size_t select_cluster(std::size_t c);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fl/parallel_round.h"
+
 namespace fedclust::fl {
 
 LgFedAvg::LgFedAvg(Federation& fed) : FlAlgorithm(fed) {}
@@ -33,13 +35,15 @@ void LgFedAvg::setup() {
 
 void LgFedAvg::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
-  nn::Model& ws = fed_.workspace();
   const std::size_t g = fed_.model_size() - global_offset_;
 
-  std::vector<std::vector<float>> suffixes;
-  std::vector<double> weights;
+  std::vector<std::vector<float>> suffixes(sampled.size());
+  std::vector<double> weights(sampled.size());
 
-  for (const std::size_t c : sampled) {
+  // Each task touches only its own client's params_[c] slot.
+  ParallelRoundRunner runner(fed_);
+  runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
+                                      nn::Model& ws) {
     fed_.comm().download_floats(g);  // only the global layers move
     std::copy(global_suffix_.begin(), global_suffix_.end(),
               params_[c].begin() +
@@ -48,11 +52,11 @@ void LgFedAvg::round(std::size_t r) {
     fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
     params_[c] = ws.flat_params();
     fed_.comm().upload_floats(g);
-    suffixes.emplace_back(
+    suffixes[idx].assign(
         params_[c].begin() + static_cast<std::ptrdiff_t>(global_offset_),
         params_[c].end());
-    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
-  }
+    weights[idx] = static_cast<double>(fed_.client(c).n_train());
+  });
 
   std::vector<std::pair<const std::vector<float>*, double>> entries;
   for (std::size_t i = 0; i < suffixes.size(); ++i) {
@@ -62,15 +66,17 @@ void LgFedAvg::round(std::size_t r) {
 }
 
 double LgFedAvg::evaluate_all() {
+  // Each client evaluates with its local prefix + current global suffix,
+  // matching what it would download next round. Materialized per client up
+  // front so the parallel evaluation sweep reads disjoint storage.
+  std::vector<std::vector<float>> eval_params(params_);
+  for (auto& v : eval_params) {
+    std::copy(global_suffix_.begin(), global_suffix_.end(),
+              v.begin() + static_cast<std::ptrdiff_t>(global_offset_));
+  }
   return fed_.average_local_accuracy(
-      [this](std::size_t i) -> const std::vector<float>& {
-        eval_buf_ = params_[i];
-        // Each client evaluates with its local prefix + current global
-        // suffix, matching what it would download next round.
-        std::copy(global_suffix_.begin(), global_suffix_.end(),
-                  eval_buf_.begin() +
-                      static_cast<std::ptrdiff_t>(global_offset_));
-        return eval_buf_;
+      [&](std::size_t i) -> const std::vector<float>& {
+        return eval_params[i];
       });
 }
 

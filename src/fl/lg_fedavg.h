@@ -30,8 +30,6 @@ class LgFedAvg : public FlAlgorithm {
   // Per-client persistent full parameter vectors (their local prefix is
   // what personalizes them).
   std::vector<std::vector<float>> params_;
-  // Scratch for evaluate_all.
-  std::vector<float> eval_buf_;
 };
 
 }  // namespace fedclust::fl

@@ -1,5 +1,7 @@
 #include "fl/local_only.h"
 
+#include "fl/parallel_round.h"
+
 namespace fedclust::fl {
 
 LocalOnly::LocalOnly(Federation& fed) : FlAlgorithm(fed) {}
@@ -12,13 +14,16 @@ void LocalOnly::setup() {
 void LocalOnly::round(std::size_t r) {
   // Sampled clients run their local epochs on their own weights; the
   // sampling keeps the total training effort per client comparable to the
-  // federated baselines. No bytes move.
-  nn::Model& ws = fed_.workspace();
-  for (const std::size_t c : fed_.sample_round(r)) {
-    ws.set_flat_params(params_[c]);
-    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
-    params_[c] = ws.flat_params();
-  }
+  // federated baselines. No bytes move, and each task touches only its own
+  // client's params_ slot.
+  ParallelRoundRunner runner(fed_);
+  runner.for_each_client(
+      fed_.sample_round(r),
+      [&](std::size_t, std::size_t c, nn::Model& ws) {
+        ws.set_flat_params(params_[c]);
+        fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
+        params_[c] = ws.flat_params();
+      });
 }
 
 double LocalOnly::evaluate_all() {

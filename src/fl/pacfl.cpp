@@ -9,6 +9,7 @@
 #include "linalg/principal_angles.h"
 #include "linalg/svd.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace fedclust::fl {
 
@@ -45,13 +46,14 @@ void Pacfl::setup() {
   const std::size_t n = fed_.n_clients();
 
   // One-shot subspace exchange: each client uploads its basis. The bases
-  // are retained for newcomer matching.
-  bases_.clear();
-  bases_.reserve(n);
-  for (std::size_t c = 0; c < n; ++c) {
-    bases_.push_back(subspace_of(fed_.client(c).train_data()));
-    fed_.comm().upload_floats(bases_.back().size());
-  }
+  // are retained for newcomer matching. The per-client SVDs are independent
+  // (no shared workspace involved), so they fan out directly; uploads are
+  // accounted afterwards in client order.
+  bases_.assign(n, tensor::Tensor());
+  util::parallel_for(0, n, [&](std::size_t c) {
+    bases_[c] = subspace_of(fed_.client(c).train_data());
+  });
+  for (const auto& basis : bases_) fed_.comm().upload_floats(basis.size());
 
   const auto dist = clustering::distance_matrix(
       n, [&](std::size_t i, std::size_t j) {

@@ -1,0 +1,60 @@
+#include "fl/parallel_round.h"
+
+#include "util/thread_pool.h"
+
+namespace fedclust::fl {
+
+void ParallelRoundRunner::for_each_index(
+    std::size_t n, const std::function<void(std::size_t, nn::Model&)>& fn) {
+  util::ThreadPool& pool = util::global_pool();
+  if (pool.size() == 0 || n <= 1 || util::ThreadPool::in_parallel_region()) {
+    // Exact sequential path: one shared workspace, ascending client index.
+    nn::Model& ws = fed_.workspace();
+    for (std::size_t i = 0; i < n; ++i) fn(i, ws);
+    return;
+  }
+  pool.parallel_for_chunked(0, n, [&](std::size_t lo, std::size_t hi) {
+    // One replica per chunk: leases are amortized over the chunk's clients.
+    WorkspaceLease lease(fed_);
+    for (std::size_t i = lo; i < hi; ++i) fn(i, lease.model());
+  });
+}
+
+void ParallelRoundRunner::for_each_client(
+    const std::vector<std::size_t>& clients,
+    const std::function<void(std::size_t, std::size_t, nn::Model&)>& fn) {
+  for_each_index(clients.size(), [&](std::size_t i, nn::Model& ws) {
+    fn(i, clients[i], ws);
+  });
+}
+
+std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
+    const std::vector<std::size_t>& clients,
+    const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of) {
+  std::vector<RoundTrainResult> results(clients.size());
+  for_each_client(clients, [&](std::size_t idx, std::size_t c,
+                               nn::Model& ws) {
+    const RoundTrainJob job = job_of(idx, c);
+    if (job.download_floats > 0) {
+      fed_.comm().download_floats(job.download_floats);
+    }
+    ws.set_flat_params(*job.start);
+    const float loss = fed_.client(c).train(
+        ws, job.opts, job.rng, job.prox_ref,
+        job.grad_offset ? &*job.grad_offset : nullptr);
+    if (job.upload_floats > 0) fed_.comm().upload_floats(job.upload_floats);
+    results[idx] = {c, ws.flat_params(),
+                    static_cast<double>(fed_.client(c).n_train()), loss};
+  });
+  return results;
+}
+
+std::vector<std::pair<const std::vector<float>*, double>> to_entries(
+    const std::vector<RoundTrainResult>& results) {
+  std::vector<std::pair<const std::vector<float>*, double>> entries;
+  entries.reserve(results.size());
+  for (const auto& r : results) entries.emplace_back(&r.params, r.weight);
+  return entries;
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,84 @@
+#pragma once
+
+// Client-parallel round execution.
+//
+// Clients inside a communication round are independent by construction:
+// every client trains from an explicitly loaded parameter vector with its
+// own pre-split (client, round) RNG stream, and communication accounting is
+// a commutative sum. ParallelRoundRunner exploits that structure: it fans
+// the sampled clients out over util::global_pool(), giving each worker
+// chunk a leased model replica from the federation's workspace pool, and
+// hands results back in client-index order — so aggregation consumes them
+// in exactly the sequence the sequential loop produced, and traces are
+// bit-identical at any worker count (FEDCLUST_THREADS=1 runs the sequential
+// code path through the shared workspace, unchanged from the seed).
+//
+// Nested kernels are safe: GEMM's inner parallel_for detects it is running
+// inside a worker chunk and degrades to inline execution (see
+// util/thread_pool.h's nested-parallelism policy).
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fl/federation.h"
+
+namespace fedclust::fl {
+
+// Everything the common train-upload-collect client step needs, produced by
+// the algorithm per sampled client before fan-out. `start` must outlive the
+// call; prox_ref likewise (point it at round-constant storage such as the
+// global model). grad_offset is owned by the job because SCAFFOLD/FedDyn
+// derive it per client.
+struct RoundTrainJob {
+  const std::vector<float>* start = nullptr;  // params loaded before training
+  LocalTrainOptions opts;
+  util::Rng rng{0};
+  const std::vector<float>* prox_ref = nullptr;
+  std::optional<std::vector<float>> grad_offset;
+  std::uint64_t download_floats = 0;  // accounted before training
+  std::uint64_t upload_floats = 0;    // accounted after training
+};
+
+struct RoundTrainResult {
+  std::size_t client = 0;
+  std::vector<float> params;  // post-training flat parameters
+  double weight = 0.0;        // client's n_train (FedAvg weighting)
+  float loss = 0.0f;          // mean training loss of the final epoch
+};
+
+class ParallelRoundRunner {
+ public:
+  explicit ParallelRoundRunner(Federation& fed) : fed_(fed) {}
+
+  // Runs fn(i, workspace) for i in [0, n). With pool workers available the
+  // indices are chunked across threads, each chunk on a leased replica;
+  // otherwise everything runs on the calling thread through the shared
+  // workspace. fn must only write to per-index slots of captured state.
+  void for_each_index(
+      std::size_t n,
+      const std::function<void(std::size_t, nn::Model&)>& fn);
+
+  // Same, iterating a client-id list: fn(idx, clients[idx], workspace).
+  void for_each_client(
+      const std::vector<std::size_t>& clients,
+      const std::function<void(std::size_t, std::size_t, nn::Model&)>& fn);
+
+  // The canonical round step shared by most algorithms: download, load
+  // job.start, train, upload, collect. job_of(idx, client) is called from
+  // worker threads and must only read round-constant or per-client state.
+  // Results come back indexed like `clients`.
+  std::vector<RoundTrainResult> train_clients(
+      const std::vector<std::size_t>& clients,
+      const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of);
+
+ private:
+  Federation& fed_;
+};
+
+// weighted_average input view over train results (index order preserved).
+std::vector<std::pair<const std::vector<float>*, double>> to_entries(
+    const std::vector<RoundTrainResult>& results);
+
+}  // namespace fedclust::fl

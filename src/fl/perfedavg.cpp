@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "fl/parallel_round.h"
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
 
@@ -11,14 +12,14 @@ PerFedAvg::PerFedAvg(Federation& fed) : FlAlgorithm(fed) {}
 
 void PerFedAvg::setup() { meta_ = fed_.init_params(); }
 
-std::vector<float> PerFedAvg::maml_train(std::size_t c, std::size_t r,
+std::vector<float> PerFedAvg::maml_train(nn::Model& ws, std::size_t c,
+                                         std::size_t r,
                                          const std::vector<float>& start) {
   const auto& opts = fed_.cfg().local;
   const float alpha = fed_.cfg().algo.perfedavg_alpha;
   const float beta = fed_.cfg().algo.perfedavg_beta;
   const SimClient& client = fed_.client(c);
   const auto& ds = client.train_data();
-  nn::Model& ws = fed_.workspace();
   util::Rng rng = fed_.train_rng(c, r);
 
   std::vector<float> w = start;
@@ -70,14 +71,16 @@ void PerFedAvg::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
   const std::size_t p = fed_.model_size();
 
-  std::vector<std::vector<float>> updates;
-  std::vector<double> weights;
-  for (const std::size_t c : sampled) {
+  std::vector<std::vector<float>> updates(sampled.size());
+  std::vector<double> weights(sampled.size());
+  ParallelRoundRunner runner(fed_);
+  runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
+                                      nn::Model& ws) {
     fed_.comm().download_floats(p);
-    updates.push_back(maml_train(c, r, meta_));
+    updates[idx] = maml_train(ws, c, r, meta_);
     fed_.comm().upload_floats(p);
-    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
-  }
+    weights[idx] = static_cast<double>(fed_.client(c).n_train());
+  });
   std::vector<std::pair<const std::vector<float>*, double>> entries;
   for (std::size_t i = 0; i < updates.size(); ++i) {
     entries.emplace_back(&updates[i], weights[i]);
@@ -87,16 +90,18 @@ void PerFedAvg::round(std::size_t r) {
 
 double PerFedAvg::evaluate_all() {
   // Personalize-then-evaluate: a few plain SGD epochs from the meta-model.
-  nn::Model& ws = fed_.workspace();
   LocalTrainOptions fine = fed_.cfg().local;
   fine.epochs = fed_.cfg().algo.perfedavg_eval_epochs;
   fine.lr = fed_.cfg().algo.perfedavg_alpha;
-  double sum = 0.0;
-  for (std::size_t i = 0; i < fed_.n_clients(); ++i) {
+  std::vector<double> accs(fed_.n_clients());
+  ParallelRoundRunner runner(fed_);
+  runner.for_each_index(fed_.n_clients(), [&](std::size_t i, nn::Model& ws) {
     ws.set_flat_params(meta_);
     fed_.client(i).train(ws, fine, fed_.train_rng(i, 0xEdA1));
-    sum += fed_.client(i).evaluate(ws);
-  }
+    accs[i] = fed_.client(i).evaluate(ws);
+  });
+  double sum = 0.0;
+  for (const double a : accs) sum += a;
   return sum / static_cast<double>(fed_.n_clients());
 }
 

@@ -24,13 +24,12 @@ class PerFedAvg : public FlAlgorithm {
   double evaluate_all() override;
 
  private:
-  // One FO-MAML local pass for client c starting from `start`; returns the
-  // updated meta-parameters.
-  std::vector<float> maml_train(std::size_t c, std::size_t r,
+  // One FO-MAML local pass for client c starting from `start`, computed
+  // through the given workspace; returns the updated meta-parameters.
+  std::vector<float> maml_train(nn::Model& ws, std::size_t c, std::size_t r,
                                 const std::vector<float>& start);
 
   std::vector<float> meta_;
-  std::vector<float> eval_buf_;
 };
 
 }  // namespace fedclust::fl

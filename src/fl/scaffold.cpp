@@ -1,5 +1,7 @@
 #include "fl/scaffold.h"
 
+#include "fl/parallel_round.h"
+
 namespace fedclust::fl {
 
 Scaffold::Scaffold(Federation& fed) : FlAlgorithm(fed) {}
@@ -13,50 +15,46 @@ void Scaffold::setup() {
 
 void Scaffold::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
-  nn::Model& ws = fed_.workspace();
   const std::size_t p = fed_.model_size();
   const auto& opts = fed_.cfg().local;
 
-  std::vector<std::vector<float>> updates;
-  std::vector<double> weights;
+  ParallelRoundRunner runner(fed_);
+  const auto results = runner.train_clients(
+      sampled, [&](std::size_t, std::size_t c) {
+        RoundTrainJob job;
+        job.start = &global_;
+        job.opts = opts;
+        job.rng = fed_.train_rng(c, r);
+        // Per-step corrected gradient: g + c_global - c_i.
+        std::vector<float> offset(p);
+        for (std::size_t j = 0; j < p; ++j) {
+          offset[j] = c_global_[j] - c_client_[c][j];
+        }
+        job.grad_offset = std::move(offset);
+        job.download_floats = 2 * p;  // model + global control variate
+        job.upload_floats = 2 * p;    // model + variate delta
+        return job;
+      });
+
+  // Option-II variate refresh, sequential in client-index order: c_i' =
+  // c_i - c + (x - y_i)/(K * lr).
   std::vector<double> dc(p, 0.0);  // accumulated variate delta
-
-  for (const std::size_t c : sampled) {
-    // Download: model + global control variate.
-    fed_.comm().download_floats(2 * p);
-
-    // Per-step corrected gradient: g + c_global - c_i.
-    std::vector<float> offset(p);
-    for (std::size_t j = 0; j < p; ++j) {
-      offset[j] = c_global_[j] - c_client_[c][j];
-    }
-    ws.set_flat_params(global_);
-    fed_.client(c).train(ws, opts, fed_.train_rng(c, r),
-                         /*prox_ref=*/nullptr, &offset);
-    const auto local = ws.flat_params();
-
-    // Option-II variate refresh: c_i' = c_i - c + (x - y_i)/(K * lr).
+  for (const auto& res : results) {
+    const auto& local = res.params;
+    auto& ci = c_client_[res.client];
     const double k_lr =
-        static_cast<double>(fed_.client(c).local_steps(opts)) * opts.lr;
+        static_cast<double>(fed_.client(res.client).local_steps(opts)) *
+        opts.lr;
     for (std::size_t j = 0; j < p; ++j) {
       const float ci_new = static_cast<float>(
-          c_client_[c][j] - c_global_[j] +
+          ci[j] - c_global_[j] +
           (static_cast<double>(global_[j]) - local[j]) / k_lr);
-      dc[j] += ci_new - c_client_[c][j];
-      c_client_[c][j] = ci_new;
+      dc[j] += ci_new - ci[j];
+      ci[j] = ci_new;
     }
-
-    // Upload: model + variate delta.
-    fed_.comm().upload_floats(2 * p);
-    updates.push_back(local);
-    weights.push_back(static_cast<double>(fed_.client(c).n_train()));
   }
 
-  std::vector<std::pair<const std::vector<float>*, double>> entries;
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    entries.emplace_back(&updates[i], weights[i]);
-  }
-  global_ = weighted_average(entries);
+  global_ = weighted_average(to_entries(results));
 
   // c += |S|/N * mean(dc).
   const double scale = static_cast<double>(sampled.size()) /

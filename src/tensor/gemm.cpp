@@ -33,9 +33,11 @@ void gemm_nn_range(std::size_t m0, std::size_t m1, std::size_t n,
         for (std::size_t i = ib; i < ie; ++i) {
           const float* __restrict arow = a + i * lda;
           float* __restrict crow = c + i * ldc;
+          // No zero-skip on av: with real weights an exact zero is
+          // vanishingly rare, and a branch here defeats vectorization of
+          // the FMA loop below.
           for (std::size_t p = kb; p < ke; ++p) {
             const float av = alpha * arow[p];
-            if (av == 0.0f) continue;
             const float* __restrict brow = b + p * ldb;
             for (std::size_t j = jb; j < je; ++j) {
               crow[j] += av * brow[j];

@@ -3,10 +3,27 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 
 #include "util/config.h"
 
 namespace fedclust::util {
+
+namespace {
+
+// Set while this thread executes a parallel_for chunk; consulted by nested
+// parallel_for calls, which then degrade to inline execution.
+thread_local bool tls_in_parallel_region = false;
+
+struct RegionGuard {
+  bool prev = tls_in_parallel_region;
+  RegionGuard() { tls_in_parallel_region = true; }
+  ~RegionGuard() { tls_in_parallel_region = prev; }
+};
+
+}  // namespace
+
+bool ThreadPool::in_parallel_region() { return tls_in_parallel_region; }
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -59,7 +76,10 @@ void ThreadPool::parallel_for_chunked(
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t n_chunks = std::min(n, workers_.size() + 1);
-  if (n_chunks <= 1) {
+  // Nested dispatch from inside a chunk runs inline: the outer loop already
+  // occupies the workers, and queueing here could only add latency (or, for
+  // a pool waiting on its own queue, deadlock).
+  if (n_chunks <= 1 || tls_in_parallel_region) {
     fn(begin, end);
     return;
   }
@@ -81,7 +101,10 @@ void ThreadPool::parallel_for_chunked(
     const std::size_t hi = std::min(end, lo + chunk);
     submit([&shared, &fn, lo, hi] {
       try {
-        if (lo < hi) fn(lo, hi);
+        if (lo < hi) {
+          const RegionGuard region;
+          fn(lo, hi);
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(shared.error_mu);
         if (!shared.error) shared.error = std::current_exception();
@@ -94,6 +117,7 @@ void ThreadPool::parallel_for_chunked(
   }
 
   try {
+    const RegionGuard region;
     fn(begin, std::min(end, begin + chunk));
   } catch (...) {
     const std::lock_guard<std::mutex> lock(shared.error_mu);
@@ -116,10 +140,28 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   });
 }
 
-ThreadPool& global_pool() {
-  static ThreadPool pool(
-      static_cast<std::size_t>(env_int("FEDCLUST_THREADS", 0)));
+namespace {
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  auto& slot = global_pool_slot();
+  if (!slot) {
+    slot = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(env_int("FEDCLUST_THREADS", 0)));
+  }
+  return *slot;
+}
+
+void reset_global_pool(std::size_t n_threads) {
+  auto& slot = global_pool_slot();
+  slot.reset();  // join the old workers before the replacement spins up
+  slot = std::make_unique<ThreadPool>(n_threads);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

@@ -7,6 +7,13 @@
 // RNG streams were split ahead of time), so results do not depend on the
 // worker count or schedule. On a single-core host the pool degrades to
 // inline execution with zero thread overhead.
+//
+// Nested-parallelism policy: a parallel_for issued from inside another
+// parallel_for chunk (e.g. GEMM's row split inside a client-parallel FL
+// round) executes inline on the calling thread instead of re-entering the
+// shared task queue. The outer loop already owns every worker, so nested
+// dispatch would only add queueing latency and oversubscription — and a
+// kernel must never assume its inner parallel_for actually fans out.
 
 #include <condition_variable>
 #include <cstddef>
@@ -28,6 +35,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+
+  // True while the current thread is executing a parallel_for chunk (as a
+  // pool worker or as the caller taking its own chunk). parallel_for calls
+  // made in that state run inline — see the nested-parallelism policy above.
+  static bool in_parallel_region();
 
   // Runs fn(i) for i in [begin, end), splitting the range into at most
   // size()+1 contiguous chunks (the calling thread takes one). Blocks until
@@ -56,6 +68,12 @@ class ThreadPool {
 // Process-wide pool, sized by FEDCLUST_THREADS (default: hardware
 // concurrency). Constructed on first use.
 ThreadPool& global_pool();
+
+// Rebuilds the global pool with the given thread count (0 = hardware
+// concurrency, 1 = no workers / fully sequential). Tests and benchmarks use
+// this to sweep worker counts inside one process; callers must ensure no
+// parallel_for is in flight on the old pool.
+void reset_global_pool(std::size_t n_threads);
 
 // Convenience wrappers over global_pool().
 void parallel_for(std::size_t begin, std::size_t end,

@@ -6,7 +6,9 @@
 
 #include "core/fedclust.h"
 #include "core/registry.h"
+#include "fl/fedavg.h"
 #include "fl/federation.h"
+#include "util/thread_pool.h"
 
 namespace fedclust {
 namespace {
@@ -90,6 +92,70 @@ TEST(Determinism, NoCrossFederationLeakage) {
     core::make_algorithm("IFCA", other)->run();
   }
   expect_identical(first, run_a());
+}
+
+// Thread-count invariance: the parallel round executor must yield
+// bit-identical results at any worker count, because RNG streams are split
+// ahead of fan-out and all floating-point reductions happen sequentially in
+// client-index order after collection. Worker counts are swept in-process
+// via reset_global_pool; the fixture restores the previous pool afterwards.
+class ThreadCountInvariance : public ::testing::Test {
+ protected:
+  void SetUp() override { prev_threads_ = util::global_pool().size() + 1; }
+  void TearDown() override { util::reset_global_pool(prev_threads_); }
+
+ private:
+  std::size_t prev_threads_ = 1;
+};
+
+void expect_bit_identical(const std::vector<float>& a,
+                          const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "params differ at " << i;
+  }
+}
+
+TEST_F(ThreadCountInvariance, FedAvgMatchesSequentialAtFourThreads) {
+  const auto run_with = [&](std::size_t threads) {
+    util::reset_global_pool(threads);
+    fl::Federation fed(cfg_for(42));
+    fl::FedAvg algo(fed);
+    fl::Trace trace = algo.run();
+    return std::make_pair(std::move(trace), algo.global_params());
+  };
+  const auto [trace1, params1] = run_with(1);  // exact sequential path
+  const auto [trace4, params4] = run_with(4);
+  expect_identical(trace1, trace4);  // accuracy + byte counts + clusters
+  expect_bit_identical(params1, params4);
+}
+
+TEST_F(ThreadCountInvariance, FedClustMatchesSequentialAtFourThreads) {
+  struct Result {
+    fl::Trace trace;
+    std::vector<std::size_t> assignment;
+    std::vector<std::vector<float>> models;
+  };
+  const auto run_with = [&](std::size_t threads) {
+    util::reset_global_pool(threads);
+    fl::Federation fed(cfg_for(42));
+    core::FedClust algo(fed);
+    Result res;
+    res.trace = algo.run();
+    res.assignment = algo.assignment();
+    for (std::size_t k = 0; k < algo.report().n_clusters; ++k) {
+      res.models.push_back(algo.cluster_model(k));
+    }
+    return res;
+  };
+  const Result r1 = run_with(1);
+  const Result r4 = run_with(4);
+  expect_identical(r1.trace, r4.trace);
+  EXPECT_EQ(r1.assignment, r4.assignment);
+  ASSERT_EQ(r1.models.size(), r4.models.size());
+  for (std::size_t k = 0; k < r1.models.size(); ++k) {
+    expect_bit_identical(r1.models[k], r4.models[k]);
+  }
 }
 
 }  // namespace

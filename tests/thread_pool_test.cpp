@@ -99,6 +99,61 @@ TEST(ThreadPool, GlobalPoolWorks) {
   EXPECT_EQ(total.load(), 499500u);
 }
 
+TEST(ThreadPool, InParallelRegionReflectsChunkExecution) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+  std::atomic<int> inside{0};
+  pool.parallel_for(0, 100, [&](std::size_t) {
+    if (ThreadPool::in_parallel_region()) inside.fetch_add(1);
+  });
+  EXPECT_EQ(inside.load(), 100);  // every index, workers and caller chunk
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+// Nested dispatch (GEMM's row split inside a client-parallel round) must run
+// inline without deadlocking on the shared queue, and must still cover every
+// index exactly once.
+TEST(ThreadPool, NestedParallelForRunsInlineAndCoversEverything) {
+  ThreadPool pool(4);
+  const std::size_t outer_n = 8, inner_n = 64;
+  std::vector<std::atomic<int>> hits(outer_n * inner_n);
+  pool.parallel_for(0, outer_n, [&](std::size_t i) {
+    pool.parallel_for(0, inner_n, [&](std::size_t j) {
+      hits[i * inner_n + j].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, NestedChunkedArrivesAsOneInlineChunk) {
+  ThreadPool pool(4);  // 3 workers + caller -> 4 outer chunks for n = 4
+  std::atomic<int> inner_dispatches{0};
+  pool.parallel_for_chunked(0, 4, [&](std::size_t, std::size_t) {
+    pool.parallel_for_chunked(0, 100, [&](std::size_t lo, std::size_t hi) {
+      // The inner body must see the whole range as a single chunk: no
+      // re-entry into the task queue from inside a region.
+      EXPECT_EQ(lo, 0u);
+      EXPECT_EQ(hi, 100u);
+      inner_dispatches.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_dispatches.load(), 4);
+}
+
+TEST(ThreadPool, ResetGlobalPoolChangesWorkerCount) {
+  const std::size_t prev = global_pool().size() + 1;
+  reset_global_pool(1);
+  EXPECT_EQ(global_pool().size(), 0u);
+  reset_global_pool(4);
+  EXPECT_EQ(global_pool().size(), 3u);
+  std::atomic<std::size_t> total{0};
+  parallel_for(0, 1000, [&](std::size_t i) { total.fetch_add(i); });
+  EXPECT_EQ(total.load(), 499500u);
+  reset_global_pool(prev);
+}
+
 class PoolSizeSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(PoolSizeSweep, SumIsDeterministicAcrossPoolSizes) {

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full release test suite, then the concurrency
+# tests (thread pool + parallel round executor) rebuilt and re-run under
+# ThreadSanitizer. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)"
+ctest --preset release -j "$(nproc)"
+
+cmake --preset tsan
+cmake --build --preset tsan-smoke -j "$(nproc)"
+FEDCLUST_THREADS=4 ctest --preset tsan-smoke
