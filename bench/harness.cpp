@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/registry.h"
+#include "obs/metrics.h"
 #include "util/config.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -16,6 +17,19 @@
 namespace fedclust::bench {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Seconds spent in one fl.*_seconds phase between two registry snapshots
+// (histograms are cumulative across the runs sharing this process).
+double phase_seconds(const obs::MetricsRegistry::Snapshot& before,
+                     const obs::MetricsRegistry::Snapshot& after,
+                     const std::string& name) {
+  return after.histogram_snapshot(name).sum -
+         before.histogram_snapshot(name).sum;
+}
+
+}  // namespace
 
 Scale get_scale() {
   Scale s;
@@ -148,13 +162,30 @@ fl::Trace run_method_cached(const std::string& method,
     return *cached;
   }
 
+  // Per-phase timings ride on the metrics registry (zero perturbation, so
+  // enabling it for every bench run is free accuracy-wise).
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.set_enabled(true);
+  const auto before = registry.snapshot();
+
   util::Stopwatch sw;
   fl::Federation fed(make_config(dataset, setting, scale, seed));
   const auto algo = core::make_algorithm(method, fed);
   fl::Trace trace = algo->run();
+
+  const auto after = registry.snapshot();
   FC_LOG_INFO << method << "/" << dataset << "/" << setting << " seed "
               << seed << ": acc=" << trace.final_accuracy() << " in "
-              << util::fmt_float(sw.seconds(), 1) << "s";
+              << util::fmt_float(sw.seconds(), 1) << "s (setup="
+              << util::fmt_float(phase_seconds(before, after,
+                                               "fl.setup_seconds"), 1)
+              << "s train="
+              << util::fmt_float(phase_seconds(before, after,
+                                               "fl.round_seconds"), 1)
+              << "s eval="
+              << util::fmt_float(phase_seconds(before, after,
+                                               "fl.eval_seconds"), 1)
+              << "s)";
   trace.save_csv(file.string());
   return trace;
 }

@@ -16,6 +16,8 @@
 #include "nn/loss.h"
 #include "nn/model_zoo.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "util/rng.h"
@@ -231,6 +233,24 @@ BENCHMARK(BM_RoundThroughput)
     ->Arg(2)
     ->Arg(4)
     ->Arg(0)  // 0 = hardware concurrency
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Same round with the observability layer recording (spans + metrics). The
+// delta against BM_RoundThroughput/<n> is the enabled-path cost; the
+// disabled-path cost is measured by BM_RoundThroughput itself, since every
+// instrumentation site is compiled in and takes the relaxed-load branch.
+void BM_RoundThroughputObsOn(benchmark::State& state) {
+  obs::SpanTracer::instance().set_enabled(true);
+  obs::MetricsRegistry::instance().set_enabled(true);
+  BM_RoundThroughput(state);
+  obs::SpanTracer::instance().set_enabled(false);
+  obs::MetricsRegistry::instance().set_enabled(false);
+  obs::SpanTracer::instance().clear();
+}
+BENCHMARK(BM_RoundThroughputObsOn)
+    ->Arg(1)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -7,6 +7,7 @@
 #include "clustering/hierarchical.h"
 #include "fl/cluster_common.h"
 #include "fl/parallel_round.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -34,16 +35,21 @@ void FedClust::setup() {
   // the updated final-layer weights. The warmups are the expensive part of
   // setup (every client trains), so they run client-parallel.
   std::vector<std::vector<float>> partials(n);
-  fl::ParallelRoundRunner runner(fed_);
-  runner.for_each_index(n, [&](std::size_t c, nn::Model& ws) {
-    fed_.comm().download_floats(p);
-    partials[c] = partial_weights_after_warmup(
-        ws, fed_.client(c), fed_.train_rng(c, 0xFEDC0000));
-    fed_.comm().upload_floats(partials[c].size());
-  });
+  {
+    OBS_SPAN("fedclust.warmup");
+    fl::ParallelRoundRunner runner(fed_);
+    runner.for_each_index(n, [&](std::size_t c, nn::Model& ws) {
+      OBS_SPAN_ARG("client.warmup", c);
+      fed_.comm().download_floats(p);
+      partials[c] = partial_weights_after_warmup(
+          ws, fed_.client(c), fed_.train_rng(c, 0xFEDC0000));
+      fed_.comm().upload_floats(partials[c].size());
+    });
+  }
 
   // Proximity matrix M (Eq. 3; cosine available for the metric ablation)
   // and one-shot HC(M, λ).
+  OBS_SPAN("fedclust.cluster");
   const std::string& metric = fed_.cfg().algo.fedclust_distance;
   if (metric == "l2") {
     report_.proximity = clustering::l2_distance_matrix(partials);

@@ -1,6 +1,9 @@
 #include "fl/algorithm.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace fedclust::fl {
 
@@ -9,15 +12,33 @@ Trace FlAlgorithm::run() {
   trace.method = name();
   trace.dataset = fed_.cfg().data_spec.name;
 
-  setup();
+  {
+    OBS_SPAN("fl.setup");
+    const util::Stopwatch setup_sw;
+    setup();
+    OBS_HISTOGRAM_OBSERVE("fl.setup_seconds", setup_sw.seconds());
+  }
   const std::size_t rounds = fed_.cfg().rounds;
   const std::size_t every = std::max<std::size_t>(1, fed_.cfg().eval_every);
   for (std::size_t r = 0; r < rounds; ++r) {
-    round(r);
+    const util::Stopwatch round_sw;
+    {
+      OBS_SPAN_ARG("fl.round", r);
+      round(r);
+    }
+    const double train_seconds = round_sw.seconds();
+    OBS_HISTOGRAM_OBSERVE("fl.round_seconds", train_seconds);
+    OBS_COUNTER_ADD("fl.rounds", 1);
     if (r % every == 0 || r + 1 == rounds) {
+      const util::Stopwatch eval_sw;
       RoundRecord rec;
       rec.round = r;
-      rec.avg_local_test_acc = evaluate_all();
+      {
+        OBS_SPAN_ARG("fl.eval_sweep", r);
+        rec.avg_local_test_acc = evaluate_all();
+      }
+      const double eval_seconds = eval_sw.seconds();
+      OBS_HISTOGRAM_OBSERVE("fl.eval_seconds", eval_seconds);
       rec.bytes_up = fed_.comm().bytes_up();
       rec.bytes_down = fed_.comm().bytes_down();
       rec.n_clusters = current_clusters();
@@ -25,6 +46,19 @@ Trace FlAlgorithm::run() {
       FC_LOG_DEBUG << name() << "/" << trace.dataset << " round " << r
                    << " acc=" << rec.avg_local_test_acc
                    << " clusters=" << rec.n_clusters;
+      auto& registry = obs::MetricsRegistry::instance();
+      if (obs::MetricsRegistry::enabled() && registry.round_log_open()) {
+        registry.log_round(
+            {{"round", static_cast<double>(r)},
+             {"acc", rec.avg_local_test_acc},
+             {"clusters", static_cast<double>(rec.n_clusters)},
+             {"mb_total",
+              static_cast<double>(rec.bytes_up + rec.bytes_down) * 8.0 /
+                  1e6},
+             {"round_seconds", train_seconds},
+             {"eval_seconds", eval_seconds}});
+      }
+      if (observer_) observer_(rec, train_seconds + eval_seconds);
     }
   }
   return trace;

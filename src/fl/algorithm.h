@@ -5,6 +5,7 @@
 // records the evaluation trace, so each algorithm only writes setup(),
 // round(), and evaluate_all().
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -23,6 +24,16 @@ class FlAlgorithm {
 
   virtual std::string name() const = 0;
 
+  // Invoked by run() after each evaluated round with the freshly appended
+  // record and the round's wall time (train + eval, seconds). Surfaces
+  // like fedclust_sim use it for live progress lines; it observes, never
+  // influences, the round loop.
+  using RoundObserver =
+      std::function<void(const RoundRecord&, double round_seconds)>;
+  void set_round_observer(RoundObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   // Executes setup() once, then cfg().rounds rounds; evaluates every
   // cfg().eval_every rounds (and always after the last round).
   Trace run();
@@ -39,6 +50,9 @@ class FlAlgorithm {
   virtual std::size_t current_clusters() const { return 1; }
 
   Federation& fed_;
+
+ private:
+  RoundObserver observer_;
 };
 
 }  // namespace fedclust::fl

@@ -11,6 +11,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace fedclust::fl {
 
 class CommTracker {
@@ -18,10 +20,12 @@ class CommTracker {
   // Client -> server transfer of n float32 values.
   void upload_floats(std::uint64_t n) {
     bytes_up_.fetch_add(n * 4, std::memory_order_relaxed);
+    OBS_COUNTER_ADD("comm.bytes_up", n * 4);
   }
   // Server -> client transfer.
   void download_floats(std::uint64_t n) {
     bytes_down_.fetch_add(n * 4, std::memory_order_relaxed);
+    OBS_COUNTER_ADD("comm.bytes_down", n * 4);
   }
 
   std::uint64_t bytes_up() const {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fl/parallel_round.h"
+#include "obs/trace.h"
 
 namespace fedclust::fl {
 
@@ -107,6 +108,7 @@ std::vector<double> Federation::local_accuracy_distribution(
   std::vector<double> accs(clients_.size());
   ParallelRoundRunner(*this).for_each_index(
       clients_.size(), [&](std::size_t i, nn::Model& ws) {
+        OBS_SPAN_ARG("client.eval", i);
         ws.set_flat_params(params_of(i));
         accs[i] = clients_[i].evaluate(ws);
       });

@@ -5,6 +5,7 @@
 #include "data/synthetic.h"
 #include "fl/cluster_common.h"
 #include "fl/parallel_round.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -37,8 +38,10 @@ void Flis::setup() {
   // sweep.
   const std::size_t p = fed_.model_size();
   std::vector<std::vector<float>> profiles(n);
+  OBS_SPAN("flis.warmup");
   ParallelRoundRunner runner(fed_);
   runner.for_each_index(n, [&](std::size_t c, nn::Model& ws) {
+    OBS_SPAN_ARG("client.warmup", c);
     fed_.comm().download_floats(p);
     ws.set_flat_params(fed_.init_params());
     fed_.client(c).train(ws, fed_.cfg().local,

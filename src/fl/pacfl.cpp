@@ -8,6 +8,7 @@
 #include "fl/cluster_common.h"
 #include "linalg/principal_angles.h"
 #include "linalg/svd.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -50,11 +51,16 @@ void Pacfl::setup() {
   // (no shared workspace involved), so they fan out directly; uploads are
   // accounted afterwards in client order.
   bases_.assign(n, tensor::Tensor());
-  util::parallel_for(0, n, [&](std::size_t c) {
-    bases_[c] = subspace_of(fed_.client(c).train_data());
-  });
+  {
+    OBS_SPAN("pacfl.subspace_exchange");
+    util::parallel_for(0, n, [&](std::size_t c) {
+      OBS_SPAN_ARG("client.subspace", c);
+      bases_[c] = subspace_of(fed_.client(c).train_data());
+    });
+  }
   for (const auto& basis : bases_) fed_.comm().upload_floats(basis.size());
 
+  OBS_SPAN("pacfl.cluster");
   const auto dist = clustering::distance_matrix(
       n, [&](std::size_t i, std::size_t j) {
         return linalg::principal_angle_distance_deg(bases_[i], bases_[j]);

@@ -1,5 +1,6 @@
 #include "fl/parallel_round.h"
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace fedclust::fl {
@@ -34,6 +35,7 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
   std::vector<RoundTrainResult> results(clients.size());
   for_each_client(clients, [&](std::size_t idx, std::size_t c,
                                nn::Model& ws) {
+    OBS_SPAN_ARG("client.train", c);
     const RoundTrainJob job = job_of(idx, c);
     if (job.download_floats > 0) {
       fed_.comm().download_floats(job.download_floats);

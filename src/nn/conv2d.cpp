@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 
@@ -22,6 +23,7 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
       bias_(name_ + ".bias", Tensor({out_channels})) {}
 
 Tensor Conv2d::forward(const Tensor& x, bool train) {
+  OBS_SPAN("conv2d.forward");
   if (x.ndim() != 4 || x.dim(1) != in_c_) {
     throw std::invalid_argument(name_ + ": expected input (N, " +
                                 std::to_string(in_c_) + ", H, W), got " +
@@ -66,6 +68,7 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
+  OBS_SPAN("conv2d.backward");
   if (cached_n_ == 0 || grad_out.ndim() != 4 || grad_out.dim(0) != cached_n_ ||
       grad_out.dim(1) != out_c_) {
     throw std::logic_error(name_ + ": backward without matching forward");

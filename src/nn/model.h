@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "obs/trace.h"
 
 namespace fedclust::nn {
 
@@ -28,9 +29,13 @@ class Model {
   Model& operator=(Model&&) = default;
 
   Tensor forward(const Tensor& x, bool train = false) {
+    OBS_SPAN("model.forward");
     return net_->forward(x, train);
   }
-  Tensor backward(const Tensor& grad_out) { return net_->backward(grad_out); }
+  Tensor backward(const Tensor& grad_out) {
+    OBS_SPAN("model.backward");
+    return net_->backward(grad_out);
+  }
   void zero_grad() { net_->zero_grad(); }
 
   std::vector<Parameter*> parameters() { return net_->parameters(); }

@@ -1,0 +1,306 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedclust::obs {
+
+std::atomic<bool> MetricsRegistry::g_enabled{false};
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+}
+
+std::vector<double> Histogram::seconds_bounds() {
+  return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0,
+          10.0, 30.0, 100.0};
+}
+
+namespace {
+
+// Relaxed CAS fold for min/max: the result is order-independent, so the
+// loops stay exact under concurrency.
+void atomic_min(std::atomic<double>& slot, double x) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !slot.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double x) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !slot.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(double x) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    s.counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  s.max = s.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= target && counts[i] > 0) {
+      return i < bounds.size() ? bounds[i] : max;
+    }
+  }
+  return max;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------- MetricsRegistry
+
+namespace {
+
+struct Store {
+  mutable std::mutex mu;  // guards registration and the round log only
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+
+  std::unique_ptr<std::ofstream> round_log;
+  std::string round_log_path;
+};
+
+Store& store() {
+  static Store* s = new Store;  // leaky: sites hold references until exit
+  return *s;
+}
+
+void check_unique(const Store& s, const std::string& name,
+                  const char* wanted) {
+  const bool is_counter = s.counters.count(name) > 0;
+  const bool is_gauge = s.gauges.count(name) > 0;
+  const bool is_histogram = s.histograms.count(name) > 0;
+  const int hits = (is_counter ? 1 : 0) + (is_gauge ? 1 : 0) +
+                   (is_histogram ? 1 : 0);
+  if (hits > 0) {
+    throw std::invalid_argument("MetricsRegistry: \"" + name +
+                                "\" already registered as a different kind "
+                                "(wanted " + wanted + ")");
+  }
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* r = new MetricsRegistry;
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end()) {
+    check_unique(s, name, "counter");
+    it = s.counters.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.gauges.find(name);
+  if (it == s.gauges.end()) {
+    check_unique(s, name, "gauge");
+    it = s.gauges.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end()) {
+    check_unique(s, name, "histogram");
+    it = s.histograms
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot out;
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& [name, c] : s.counters) {
+    out.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : s.gauges) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : s.histograms) {
+    out.histograms.emplace_back(name, h->snapshot());
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::uint64_t MetricsRegistry::Snapshot::counter_value(
+    const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+Histogram::Snapshot MetricsRegistry::Snapshot::histogram_snapshot(
+    const std::string& name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return h;
+  }
+  return Histogram::Snapshot{};
+}
+
+void MetricsRegistry::reset_values() {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& [name, c] : s.counters) c->reset();
+  for (auto& [name, g] : s.gauges) g->reset();
+  for (auto& [name, h] : s.histograms) h->reset();
+}
+
+void MetricsRegistry::open_round_log(const std::string& path) {
+  auto os = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*os) {
+    throw std::runtime_error("MetricsRegistry: cannot open metrics output " +
+                             path);
+  }
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.round_log = std::move(os);
+  s.round_log_path = path;
+}
+
+bool MetricsRegistry::round_log_open() const {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.round_log != nullptr;
+}
+
+void MetricsRegistry::close_round_log() {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.round_log.reset();
+  s.round_log_path.clear();
+}
+
+void MetricsRegistry::log_round(
+    const std::vector<std::pair<std::string, double>>& fields) {
+  Store& s = store();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.round_log) return;
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : fields) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << k << "\":" << fmt(v);
+  }
+  for (const auto& [name, c] : s.counters) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << c->value();
+    first = false;
+  }
+  for (const auto& [name, g] : s.gauges) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << g->value();
+    first = false;
+  }
+  os << "}";
+  *s.round_log << os.str() << "\n";
+  s.round_log->flush();
+  if (!*s.round_log) {
+    throw std::runtime_error("MetricsRegistry: write failed for " +
+                             s.round_log_path);
+  }
+}
+
+std::string MetricsRegistry::summary_table() const {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  std::size_t width = 24;
+  for (const auto& [n, v] : snap.counters) width = std::max(width, n.size());
+  for (const auto& [n, v] : snap.gauges) width = std::max(width, n.size());
+  for (const auto& [n, h] : snap.histograms) {
+    width = std::max(width, n.size());
+  }
+  const auto pad = [&](const std::string& n) {
+    return n + std::string(width + 2 - n.size(), ' ');
+  };
+  os << "-- metrics summary --\n";
+  for (const auto& [n, v] : snap.counters) {
+    os << pad(n) << v << "\n";
+  }
+  for (const auto& [n, v] : snap.gauges) {
+    os << pad(n) << v << "\n";
+  }
+  for (const auto& [n, h] : snap.histograms) {
+    os << pad(n) << "count=" << h.count << " mean=" << fmt(h.mean())
+       << " min=" << fmt(h.min) << " p50<=" << fmt(h.quantile(0.5))
+       << " p95<=" << fmt(h.quantile(0.95)) << " max=" << fmt(h.max)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fedclust::obs

@@ -1,0 +1,176 @@
+#pragma once
+
+// obs::MetricsRegistry — named counters, gauges, and fixed-bucket
+// histograms backed by relaxed atomics, with point-in-time snapshots, a
+// per-round JSONL emitter, and an end-of-run summary table.
+//
+// Shares the observability invariants of obs::SpanTracer (see trace.h):
+// zero perturbation of simulation results, one relaxed load + branch per
+// site when disabled, and tsan-clean updates from worker threads. Metric
+// handles returned by counter()/gauge()/histogram() are stable for the
+// process lifetime, so hot sites cache them in a function-local static via
+// the OBS_* macros below and pay no map lookup after the first hit.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fedclust::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Signed instantaneous value (e.g. in-flight worker chunks). `add` keeps
+// concurrent increments/decrements exact; `set` is last-writer-wins.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Fixed-bucket histogram: bucket i counts observations <= bounds[i], plus
+// one overflow bucket. Bounds are fixed at registration so observe() is a
+// linear scan over a small array + relaxed increments — no locks.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  // Log-spaced seconds buckets (100 µs .. 100 s), the default for the
+  // *_seconds timing histograms.
+  static std::vector<double> seconds_bounds();
+
+  void observe(double x);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 buckets
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when count == 0
+    double max = 0.0;
+
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+    // Upper bound of the bucket containing quantile q — a bucket-resolution
+    // approximation (the overflow bucket reports max).
+    double quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();  // leaky singleton
+
+  static bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    g_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  // Find-or-create by name; the returned reference never moves. A
+  // histogram's bounds are taken from the first registration. Registering
+  // one name as two different kinds throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = Histogram::seconds_bounds());
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+    // Convenience lookups (0 / empty snapshot when absent).
+    std::uint64_t counter_value(const std::string& name) const;
+    Histogram::Snapshot histogram_snapshot(const std::string& name) const;
+  };
+  // Name-sorted point-in-time view of every registered metric.
+  Snapshot snapshot() const;
+
+  // Zeroes every metric's value (registrations survive).
+  void reset_values();
+
+  // ---- per-round JSONL emission -------------------------------------
+  // One JSON object per line: the caller's fields first (round index,
+  // accuracy, ...), then the cumulative value of every registered counter
+  // and gauge. open_round_log throws std::runtime_error naming the path
+  // when the file cannot be created.
+  void open_round_log(const std::string& path);
+  bool round_log_open() const;
+  void close_round_log();
+  void log_round(const std::vector<std::pair<std::string, double>>& fields);
+
+  // Human-readable end-of-run table of every metric (counters, gauges,
+  // histogram count/mean/p50/p95/max).
+  std::string summary_table() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  static std::atomic<bool> g_enabled;
+};
+
+}  // namespace fedclust::obs
+
+// Hot-site macros: disabled cost is one relaxed load + branch; enabled cost
+// after the first hit is the relaxed atomic update (the static handle
+// lookup happens once per site).
+#define OBS_COUNTER_ADD(name, n)                                          \
+  do {                                                                    \
+    if (::fedclust::obs::MetricsRegistry::enabled()) {                    \
+      static ::fedclust::obs::Counter& obs_macro_c =                      \
+          ::fedclust::obs::MetricsRegistry::instance().counter(name);     \
+      obs_macro_c.add(static_cast<std::uint64_t>(n));                     \
+    }                                                                     \
+  } while (0)
+
+#define OBS_GAUGE_ADD(name, d)                                            \
+  do {                                                                    \
+    if (::fedclust::obs::MetricsRegistry::enabled()) {                    \
+      static ::fedclust::obs::Gauge& obs_macro_g =                        \
+          ::fedclust::obs::MetricsRegistry::instance().gauge(name);       \
+      obs_macro_g.add(static_cast<std::int64_t>(d));                      \
+    }                                                                     \
+  } while (0)
+
+#define OBS_GAUGE_SET(name, v)                                            \
+  do {                                                                    \
+    if (::fedclust::obs::MetricsRegistry::enabled()) {                    \
+      static ::fedclust::obs::Gauge& obs_macro_g =                        \
+          ::fedclust::obs::MetricsRegistry::instance().gauge(name);       \
+      obs_macro_g.set(static_cast<std::int64_t>(v));                      \
+    }                                                                     \
+  } while (0)
+
+#define OBS_HISTOGRAM_OBSERVE(name, x)                                    \
+  do {                                                                    \
+    if (::fedclust::obs::MetricsRegistry::enabled()) {                    \
+      static ::fedclust::obs::Histogram& obs_macro_h =                    \
+          ::fedclust::obs::MetricsRegistry::instance().histogram(name);   \
+      obs_macro_h.observe(static_cast<double>(x));                        \
+    }                                                                     \
+  } while (0)

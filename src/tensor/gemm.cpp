@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace fedclust::tensor {
@@ -68,6 +70,9 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, const float* a, std::size_t lda,
           const float* b, std::size_t ldb, float beta, float* c,
           std::size_t ldc) {
+  OBS_SPAN_ARG("gemm", m * n * k);
+  OBS_COUNTER_ADD("gemm.calls", 1);
+  OBS_COUNTER_ADD("gemm.madds", m * n * k);
   // Scale / clear C first so the kernel can be pure accumulation.
   if (beta == 0.0f) {
     for (std::size_t i = 0; i < m; ++i) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace fedclust::tensor {
 
 std::size_t conv_out_dim(std::size_t in, std::size_t kernel,
@@ -16,6 +18,7 @@ std::size_t conv_out_dim(std::size_t in, std::size_t kernel,
 void im2col(const float* img, std::size_t c, std::size_t h, std::size_t w,
             std::size_t kh, std::size_t kw, std::size_t stride,
             std::size_t pad, float* col) {
+  OBS_SPAN("im2col");
   const std::size_t oh = conv_out_dim(h, kh, stride, pad);
   const std::size_t ow = conv_out_dim(w, kw, stride, pad);
   const std::size_t out_area = oh * ow;
@@ -53,6 +56,7 @@ void im2col(const float* img, std::size_t c, std::size_t h, std::size_t w,
 void col2im(const float* col, std::size_t c, std::size_t h, std::size_t w,
             std::size_t kh, std::size_t kw, std::size_t stride,
             std::size_t pad, float* img) {
+  OBS_SPAN("col2im");
   const std::size_t oh = conv_out_dim(h, kh, stride, pad);
   const std::size_t ow = conv_out_dim(w, kw, stride, pad);
   const std::size_t out_area = oh * ow;

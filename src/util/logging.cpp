@@ -1,11 +1,11 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <mutex>
 
 #include "util/config.h"
+#include "util/timer.h"
 
 namespace fedclust::util {
 
@@ -41,12 +41,6 @@ const char* level_tag(LogLevel level) {
   }
 }
 
-double elapsed_seconds() {
-  using clock = std::chrono::steady_clock;
-  static const clock::time_point start = clock::now();
-  return std::chrono::duration<double>(clock::now() - start).count();
-}
-
 std::mutex& output_mutex() {
   static std::mutex mu;
   return mu;
@@ -66,7 +60,7 @@ LogLine::LogLine(LogLevel level) : level_(level) {}
 
 LogLine::~LogLine() {
   const std::lock_guard<std::mutex> lock(output_mutex());
-  std::fprintf(stderr, "[%8.3f %s] %s\n", elapsed_seconds(),
+  std::fprintf(stderr, "[%8.3f %s] %s\n", process_elapsed_seconds(),
                level_tag(level_), os_.str().c_str());
 }
 

@@ -107,6 +107,10 @@ void append_line(const std::string& path,
     os << csv_escape(cells[i]);
   }
   os << '\n';
+  // Surface write failures (full disk, file removed mid-run) too: a trace
+  // that silently comes back empty is worse than an aborted run.
+  os.flush();
+  if (!os) throw std::runtime_error("CsvWriter: write failed for " + path);
 }
 
 }  // namespace

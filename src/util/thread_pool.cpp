@@ -5,6 +5,8 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/config.h"
 
 namespace fedclust::util {
@@ -35,7 +37,13 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
   const std::size_t n_workers = n_threads > 0 ? n_threads - 1 : 0;
   workers_.reserve(n_workers);
   for (std::size_t i = 0; i < n_workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Label once at startup so exported traces show which pool worker a
+      // span ran on (Perfetto's per-track view).
+      obs::SpanTracer::instance().set_thread_label(
+          "pool-worker-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 
@@ -80,9 +88,13 @@ void ThreadPool::parallel_for_chunked(
   // occupies the workers, and queueing here could only add latency (or, for
   // a pool waiting on its own queue, deadlock).
   if (n_chunks <= 1 || tls_in_parallel_region) {
+    if (tls_in_parallel_region) {
+      OBS_COUNTER_ADD("pool.nested_inline_dispatches", 1);
+    }
     fn(begin, end);
     return;
   }
+  OBS_COUNTER_ADD("pool.parallel_dispatches", 1);
 
   struct Shared {
     std::atomic<std::size_t> pending{0};
@@ -103,7 +115,10 @@ void ThreadPool::parallel_for_chunked(
       try {
         if (lo < hi) {
           const RegionGuard region;
+          OBS_SPAN_ARG("pool.chunk", hi - lo);
+          OBS_GAUGE_ADD("pool.busy_workers", 1);
           fn(lo, hi);
+          OBS_GAUGE_ADD("pool.busy_workers", -1);
         }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(shared.error_mu);
@@ -118,7 +133,10 @@ void ThreadPool::parallel_for_chunked(
 
   try {
     const RegionGuard region;
+    OBS_SPAN_ARG("pool.chunk", chunk);
+    OBS_GAUGE_ADD("pool.busy_workers", 1);
     fn(begin, std::min(end, begin + chunk));
+    OBS_GAUGE_ADD("pool.busy_workers", -1);
   } catch (...) {
     const std::lock_guard<std::mutex> lock(shared.error_mu);
     if (!shared.error) shared.error = std::current_exception();

@@ -1,0 +1,129 @@
+// Zero-perturbation invariant (ROADMAP "Observability"): enabling tracing
+// and metrics must not change a single bit of any run — traces, final
+// parameters, and comm byte counts are identical with observability on or
+// off, at any worker count. Spans only read the steady clock; metric
+// updates only touch their own relaxed atomics; neither goes near RNG
+// state or floating-point accumulation order.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/registry.h"
+#include "fl/federation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace fedclust {
+namespace {
+
+fl::ExperimentConfig cfg_for(std::uint64_t seed) {
+  fl::ExperimentConfig cfg;
+  cfg.data_spec = data::dataset_spec("svhn");
+  cfg.data_spec.hw = 8;
+  cfg.fed.n_clients = 10;
+  cfg.fed.train_per_client = 12;
+  cfg.fed.test_per_client = 6;
+  cfg.fed.partition = "dirichlet";
+  cfg.fed.dirichlet_alpha = 0.3;
+  cfg.model.arch = "mlp";
+  cfg.model.in_channels = 3;
+  cfg.model.image_hw = 8;
+  cfg.model.num_classes = 10;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 6;
+  cfg.local.lr = 0.05f;
+  cfg.rounds = 3;
+  cfg.sample_fraction = 0.4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct RunResult {
+  fl::Trace trace;
+  std::vector<float> init_params;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+};
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.trace.records.size(), b.trace.records.size());
+  for (std::size_t i = 0; i < a.trace.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trace.records[i].avg_local_test_acc,
+                     b.trace.records[i].avg_local_test_acc);
+    EXPECT_EQ(a.trace.records[i].bytes_up, b.trace.records[i].bytes_up);
+    EXPECT_EQ(a.trace.records[i].bytes_down, b.trace.records[i].bytes_down);
+    EXPECT_EQ(a.trace.records[i].n_clusters, b.trace.records[i].n_clusters);
+  }
+  ASSERT_EQ(a.init_params.size(), b.init_params.size());
+  for (std::size_t i = 0; i < a.init_params.size(); ++i) {
+    ASSERT_EQ(a.init_params[i], b.init_params[i]) << "θ0 differs at " << i;
+  }
+  EXPECT_EQ(a.bytes_up, b.bytes_up);
+  EXPECT_EQ(a.bytes_down, b.bytes_down);
+}
+
+// Sweeps worker counts in-process; restores the previous pool and the
+// observability-off default afterwards.
+class ObsInvariance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { prev_threads_ = util::global_pool().size() + 1; }
+  void TearDown() override {
+    obs::SpanTracer::instance().set_enabled(false);
+    obs::SpanTracer::instance().clear();
+    obs::MetricsRegistry::instance().set_enabled(false);
+    obs::MetricsRegistry::instance().reset_values();
+    util::reset_global_pool(prev_threads_);
+  }
+
+  RunResult run_with(bool obs_on, std::size_t threads) {
+    obs::SpanTracer::instance().clear();
+    obs::SpanTracer::instance().set_enabled(obs_on);
+    obs::MetricsRegistry::instance().reset_values();
+    obs::MetricsRegistry::instance().set_enabled(obs_on);
+    util::reset_global_pool(threads);
+    fl::Federation fed(cfg_for(99));
+    RunResult res;
+    res.trace = core::make_algorithm(GetParam(), fed)->run();
+    res.init_params = fed.init_params();
+    res.bytes_up = fed.comm().bytes_up();
+    res.bytes_down = fed.comm().bytes_down();
+    if (obs_on) {
+      // The instrumented run must actually have recorded something, or the
+      // comparison proves nothing.
+      EXPECT_GT(obs::SpanTracer::instance().total_recorded(), 0u);
+      EXPECT_EQ(obs::MetricsRegistry::instance().snapshot().counter_value(
+                    "comm.bytes_up"),
+                res.bytes_up);
+    }
+    obs::SpanTracer::instance().set_enabled(false);
+    obs::SpanTracer::instance().clear();
+    obs::MetricsRegistry::instance().set_enabled(false);
+    return res;
+  }
+
+ private:
+  std::size_t prev_threads_ = 1;
+};
+
+TEST_P(ObsInvariance, ObservabilityOnEqualsOffSequential) {
+  expect_identical(run_with(false, 1), run_with(true, 1));
+}
+
+TEST_P(ObsInvariance, ObservabilityOnEqualsOffAtFourThreads) {
+  expect_identical(run_with(false, 4), run_with(true, 4));
+}
+
+TEST_P(ObsInvariance, ObservedParallelRunEqualsBareSequentialRun) {
+  // The strongest cross-check: everything on at 4 threads vs. everything
+  // off on the exact sequential path.
+  expect_identical(run_with(false, 1), run_with(true, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, ObsInvariance,
+                         ::testing::Values("FedAvg", "FedClust"));
+
+}  // namespace
+}  // namespace fedclust

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -209,6 +213,32 @@ TEST(Serialization, CsvWriterEscapes) {
   EXPECT_NE(content.find("a,b\n"), std::string::npos);
   EXPECT_NE(content.find("\"with,comma\""), std::string::npos);
   EXPECT_NE(content.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Serialization, CsvWriterThrowsNamingUnopenablePath) {
+  const std::string bad = "/nonexistent-dir-fc/trace.csv";
+  try {
+    CsvWriter csv(bad, {"a", "b"});
+    FAIL() << "expected throw for unopenable path";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(bad), std::string::npos)
+        << "error must name the offending path: " << e.what();
+  }
+}
+
+TEST(Serialization, CsvWriterThrowsWhenFileVanishesMidRun) {
+  const std::string path = ::testing::TempDir() + "/fc_csv_vanish.csv";
+  CsvWriter csv(path, {"a"});
+  // Replace the file with a directory: the next append's open fails.
+  std::remove(path.c_str());
+  ASSERT_EQ(::mkdir(path.c_str(), 0755), 0);
+  try {
+    csv.add_row({"x"});
+    FAIL() << "expected throw after path became unwritable";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  ::rmdir(path.c_str());
 }
 
 }  // namespace

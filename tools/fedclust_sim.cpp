@@ -8,15 +8,24 @@
 #include <iostream>
 
 #include "core/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/config.h"
+#include "util/logging.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace fedclust;
   try {
-    util::ArgParser args("fedclust_sim",
-                         "run one FL experiment and dump its trace");
+    util::ArgParser args(
+        "fedclust_sim",
+        "run one FL experiment and dump its trace.\n"
+        "Environment: FEDCLUST_LOG_LEVEL=trace|debug|info|warn|error|off "
+        "sets log verbosity (default info; per-round progress lines are "
+        "INFO). FEDCLUST_THREADS sets the worker-pool size (results are "
+        "bit-identical at any value). FEDCLUST_TRACE / FEDCLUST_METRICS "
+        "provide default paths for --trace-out / --metrics-out.");
     args.add_option("method", "Local|FedAvg|...|FedClust|SCAFFOLD|FedDyn|"
                               "Ditto|FLIS", "FedClust");
     args.add_option("dataset", "cifar10|cifar100|fmnist|svhn", "cifar10");
@@ -37,7 +46,25 @@ int main(int argc, char** argv) {
     args.add_option("dropout", "client dropout probability", "0");
     args.add_option("seed", "root seed", "1");
     args.add_option("out", "trace CSV path (empty = don't write)", "");
+    args.add_option("trace-out",
+                    "Chrome Trace Event JSON path (open in Perfetto; "
+                    "empty = tracing off)",
+                    util::env_string("FEDCLUST_TRACE", ""));
+    args.add_option("metrics-out",
+                    "per-round metrics JSONL path (empty = metrics off)",
+                    util::env_string("FEDCLUST_METRICS", ""));
+    args.add_option("progress", "per-round INFO progress lines (1|0)", "1");
     if (!args.parse(argc, argv)) return 0;
+
+    const std::string trace_out = args.str("trace-out");
+    const std::string metrics_out = args.str("metrics-out");
+    if (!trace_out.empty()) {
+      obs::SpanTracer::instance().set_enabled(true);
+    }
+    if (!metrics_out.empty()) {
+      obs::MetricsRegistry::instance().set_enabled(true);
+      obs::MetricsRegistry::instance().open_round_log(metrics_out);
+    }
 
     fl::ExperimentConfig cfg;
     cfg.data_spec = data::dataset_spec(args.str("dataset"));
@@ -67,6 +94,20 @@ int main(int argc, char** argv) {
 
     fl::Federation fed(cfg);
     const auto algo = core::make_algorithm(args.str("method"), fed);
+    if (args.integer("progress") != 0) {
+      algo->set_round_observer([](const fl::RoundRecord& rec,
+                                  double round_seconds) {
+        FC_LOG_INFO << "round " << rec.round << " acc="
+                    << util::fmt_float(rec.avg_local_test_acc * 100.0, 2)
+                    << "% clusters=" << rec.n_clusters << " comm="
+                    << util::fmt_float(
+                           static_cast<double>(rec.bytes_up +
+                                               rec.bytes_down) *
+                               8.0 / 1e6,
+                           2)
+                    << "Mb " << util::fmt_float(round_seconds, 3) << "s";
+      });
+    }
     util::Stopwatch sw;
     const fl::Trace trace = algo->run();
 
@@ -79,6 +120,16 @@ int main(int argc, char** argv) {
     if (!args.str("out").empty()) {
       trace.save_csv(args.str("out"));
       std::cout << "trace written to " << args.str("out") << "\n";
+    }
+    if (!trace_out.empty()) {
+      obs::SpanTracer::instance().write_chrome_trace(trace_out);
+      std::cout << "span trace written to " << trace_out
+                << " (open in https://ui.perfetto.dev)\n";
+    }
+    if (!metrics_out.empty()) {
+      obs::MetricsRegistry::instance().close_round_log();
+      std::cout << obs::MetricsRegistry::instance().summary_table()
+                << "metrics written to " << metrics_out << "\n";
     }
     return 0;
   } catch (const std::exception& e) {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full release test suite, then the concurrency
-# tests (thread pool + parallel round executor) rebuilt and re-run under
-# ThreadSanitizer. Run from the repository root.
+# tests (thread pool + parallel round executor + obs stress) rebuilt and
+# re-run under ThreadSanitizer, then an observability smoke run of the
+# simulator CLI. Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,3 +13,31 @@ ctest --preset release -j "$(nproc)"
 cmake --preset tsan
 cmake --build --preset tsan-smoke -j "$(nproc)"
 FEDCLUST_THREADS=4 ctest --preset tsan-smoke
+
+# Observability smoke: a tiny run must produce a Chrome trace and a
+# per-round JSONL that exist, are non-empty, and parse.
+smoke_dir=build/obs_smoke
+rm -rf "$smoke_dir" && mkdir -p "$smoke_dir"
+./build/tools/fedclust_sim --method=FedClust --clients=8 --rounds=2 \
+    --train=6 --test=4 --sample=0.5 \
+    --trace-out="$smoke_dir/trace.json" \
+    --metrics-out="$smoke_dir/metrics.jsonl" >/dev/null
+for f in "$smoke_dir/trace.json" "$smoke_dir/metrics.jsonl"; do
+  [ -s "$f" ] || { echo "obs smoke: $f missing or empty" >&2; exit 1; }
+done
+grep -q '"traceEvents"' "$smoke_dir/trace.json"
+grep -q '"fl.round"' "$smoke_dir/trace.json"
+grep -q '"round"' "$smoke_dir/metrics.jsonl"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$smoke_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+trace = json.load(open(f"{d}/trace.json"))
+names = {e.get("name") for e in trace["traceEvents"]}
+for want in ("fl.round", "client.train", "gemm"):
+    assert want in names, f"obs smoke: span {want!r} missing from trace"
+for line in open(f"{d}/metrics.jsonl"):
+    json.loads(line)
+EOF
+fi
+echo "obs smoke ok"
