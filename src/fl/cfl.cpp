@@ -6,6 +6,7 @@
 #include "clustering/hierarchical.h"
 #include "fl/cluster_common.h"
 #include "fl/parallel_round.h"
+#include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -33,23 +34,35 @@ void Cfl::round(std::size_t r) {
         job.rng = fed_.train_rng(c, r);
         job.download_floats = p;
         job.upload_floats = p;
+        job.round = r;
         return job;
       });
 
-  // Group per cluster in client-index order, keeping the raw updates
-  // around for the split criterion.
+  // Group the delivered updates per cluster in client-index order, keeping
+  // the raw updates around for the split criterion; faulted updates enter
+  // neither the aggregate nor the congruence norms.
   std::vector<std::vector<const std::vector<float>*>> updates(
       cluster_models_.size());
   std::vector<std::vector<double>> weights(cluster_models_.size());
+  std::vector<std::size_t> sampled_members(cluster_models_.size(), 0);
   for (const auto& res : results) {
     const std::size_t k = assignment_[res.client];
+    ++sampled_members[k];
+    if (!res.delivered) continue;
     updates[k].push_back(&res.params);
     weights[k].push_back(res.weight);
   }
 
   std::vector<std::size_t> to_split;
   for (std::size_t k = 0; k < cluster_models_.size(); ++k) {
-    if (updates[k].empty()) continue;
+    if (updates[k].empty()) {
+      // Carried forward unchanged; count the rounds where faults (not
+      // sampling) hollowed the cluster out.
+      if (sampled_members[k] > 0) {
+        OBS_COUNTER_ADD("fault.empty_cluster_rounds", 1);
+      }
+      continue;
+    }
 
     // Update norms relative to the aggregate: Sattler's congruence check.
     std::vector<std::vector<float>> deltas;
@@ -115,15 +128,24 @@ void Cfl::split_cluster(std::size_t k, std::size_t round) {
         job.rng = fed_.train_rng(c, 0xCF1000 + round);
         job.download_floats = p;
         job.upload_floats = p;
+        job.round = 0xCF1000 + round;  // out-of-band fault-schedule key
         return job;
       });
+  // Members lost to faults during the split sweep contribute no delta; a
+  // bipartition needs at least two survivors, otherwise the split is
+  // abandoned and retried when the criterion next fires.
+  std::vector<std::size_t> surviving;
   std::vector<std::vector<float>> deltas;
   deltas.reserve(results.size());
-  for (auto& res : results) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto& res = results[i];
+    if (!res.delivered) continue;
     auto w = std::move(res.params);
     for (std::size_t j = 0; j < p; ++j) w[j] -= cluster_models_[k][j];
     deltas.push_back(std::move(w));
+    surviving.push_back(members[i]);
   }
+  if (deltas.size() < 2) return;
 
   // Complete-linkage bipartition of 1 - cos(delta_i, delta_j), the optimal
   // bipartition heuristic from Sattler's reference implementation.
@@ -133,11 +155,11 @@ void Cfl::split_cluster(std::size_t k, std::size_t round) {
 
   const std::size_t new_k = cluster_models_.size();
   cluster_models_.push_back(cluster_models_[k]);  // both halves inherit
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    if (halves[i] == 1) assignment_[members[i]] = new_k;
+  for (std::size_t i = 0; i < surviving.size(); ++i) {
+    if (halves[i] == 1) assignment_[surviving[i]] = new_k;
   }
-  FC_LOG_DEBUG << "CFL split cluster " << k << " (" << members.size()
-               << " members) at round " << round;
+  FC_LOG_DEBUG << "CFL split cluster " << k << " (" << surviving.size()
+               << " of " << members.size() << " members) at round " << round;
 }
 
 double Cfl::evaluate_all() {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "fl/parallel_round.h"
+#include "obs/metrics.h"
 
 namespace fedclust::fl {
 
@@ -32,18 +33,34 @@ void cluster_fedavg_round(Federation& fed, std::size_t round,
         job.rng = fed.train_rng(c, round);
         job.download_floats = p;
         job.upload_floats = p;
+        job.round = round;
         return job;
       });
 
-  // cluster -> (params, weight) grouped in client-index order.
+  // cluster -> (params, weight) of the *delivered* updates, grouped in
+  // client-index order; `hollowed` marks clusters whose entire sampled
+  // membership was lost to faults this round.
   std::vector<std::vector<std::pair<const std::vector<float>*, double>>>
       per_cluster(cluster_models.size());
+  std::vector<std::size_t> sampled_members(cluster_models.size(), 0);
   for (const auto& res : results) {
-    per_cluster[assignment[res.client]].emplace_back(&res.params,
-                                                     res.weight);
+    const std::size_t k = assignment[res.client];
+    ++sampled_members[k];
+    if (res.delivered) per_cluster[k].emplace_back(&res.params, res.weight);
   }
   for (std::size_t k = 0; k < cluster_models.size(); ++k) {
-    if (per_cluster[k].empty()) continue;  // no member sampled: unchanged
+    if (per_cluster[k].empty()) {
+      // No surviving member update: the cluster model is carried forward
+      // unchanged, and its clients keep evaluating/training against this
+      // last cluster model — graceful degradation, never an empty
+      // aggregation. Distinguish "nobody sampled" (normal under partial
+      // participation) from "everyone sampled was lost" (a fault hollowed
+      // the cluster out).
+      if (sampled_members[k] > 0) {
+        OBS_COUNTER_ADD("fault.empty_cluster_rounds", 1);
+      }
+      continue;
+    }
     cluster_models[k] = weighted_average(per_cluster[k]);
   }
 }

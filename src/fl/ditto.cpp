@@ -1,6 +1,7 @@
 #include "fl/ditto.h"
 
 #include "fl/parallel_round.h"
+#include "obs/metrics.h"
 
 namespace fedclust::fl {
 
@@ -21,6 +22,7 @@ void Ditto::round(std::size_t r) {
 
   std::vector<std::vector<float>> updates(sampled.size());
   std::vector<double> weights(sampled.size());
+  std::vector<char> delivered(sampled.size(), 1);
   ParallelRoundRunner runner(fed_);
   runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
                                       nn::Model& ws) {
@@ -31,10 +33,11 @@ void Ditto::round(std::size_t r) {
     fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
     updates[idx] = ws.flat_params();
     weights[idx] = static_cast<double>(fed_.client(c).n_train());
-    fed_.comm().upload_floats(p);
+    delivered[idx] = fed_.deliver_update(c, r, updates[idx], p) ? 1 : 0;
 
     // (2) Personal-objective step: prox-regularized training of v_i toward
-    // the global model it just downloaded. Stays on-device: no extra comm.
+    // the global model it just downloaded. Stays on-device: no extra comm,
+    // and it proceeds even when the global-step upload was lost.
     ws.set_flat_params(personal_[c]);
     fed_.client(c).train(ws, prox_opts, fed_.train_rng(c, 0xD177000 + r),
                          &global_);
@@ -43,7 +46,11 @@ void Ditto::round(std::size_t r) {
 
   std::vector<std::pair<const std::vector<float>*, double>> entries;
   for (std::size_t i = 0; i < updates.size(); ++i) {
-    entries.emplace_back(&updates[i], weights[i]);
+    if (delivered[i]) entries.emplace_back(&updates[i], weights[i]);
+  }
+  if (entries.empty()) {
+    OBS_COUNTER_ADD("fault.empty_rounds", 1);
+    return;  // global model carries forward; personal models kept training
   }
   global_ = weighted_average(entries);
 }

@@ -26,10 +26,13 @@ void FedAvg::round(std::size_t r) {
         job.prox_ref = prox_mu_ > 0.0f ? &global_ : nullptr;
         job.download_floats = p;
         job.upload_floats = p;  // client -> server: updated model
+        job.round = r;
         return job;
       });
 
-  global_ = weighted_average(to_entries(results));
+  // Lost or quarantined updates are filtered; an all-lost round keeps the
+  // current global model.
+  aggregate_or_keep(global_, results);
 }
 
 double FedAvg::evaluate_all() {

@@ -1,6 +1,7 @@
 #include "fl/feddyn.h"
 
 #include "fl/parallel_round.h"
+#include "obs/metrics.h"
 
 namespace fedclust::fl {
 
@@ -37,12 +38,21 @@ void FedDyn::round(std::size_t r) {
         job.grad_offset = std::move(offset);
         job.download_floats = p;
         job.upload_floats = p;
+        job.round = r;
         return job;
       });
 
-  // Lagged-gradient refresh per participant (each client's h is touched by
-  // at most one result, so index order is just the sequential order).
+  if (!any_delivered(results)) {
+    // All updates lost: θ, h_i, and the server state carry forward.
+    OBS_COUNTER_ADD("fault.empty_rounds", 1);
+    return;
+  }
+
+  // Lagged-gradient refresh per *delivered* participant (each client's h is
+  // touched by at most one result, so index order is just the sequential
+  // order); the server never learns about lost updates.
   for (const auto& res : results) {
+    if (!res.delivered) continue;
     const auto& local = res.params;
     auto& h = h_client_[res.client];
     for (std::size_t j = 0; j < p; ++j) {

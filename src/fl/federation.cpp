@@ -1,10 +1,13 @@
 #include "fl/federation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "fl/parallel_round.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 
 namespace fedclust::fl {
 
@@ -20,6 +23,42 @@ std::vector<SimClient> build_clients(std::vector<data::ClientData> data) {
   return clients;
 }
 
+// Rejects configurations that used to fail silently (a zero sample
+// fraction sampled one client forever; eval_every == 0 was patched to 1 in
+// the round loop; rounds == 0 produced an empty trace downstream consumers
+// choke on). Runs before any member is built.
+ExperimentConfig validated(ExperimentConfig cfg) {
+  if (!(cfg.sample_fraction > 0.0) || cfg.sample_fraction > 1.0) {
+    throw std::invalid_argument(
+        "ExperimentConfig.sample_fraction must be in (0, 1], got " +
+        std::to_string(cfg.sample_fraction));
+  }
+  if (cfg.rounds == 0) {
+    throw std::invalid_argument("ExperimentConfig.rounds must be >= 1");
+  }
+  if (cfg.eval_every == 0) {
+    throw std::invalid_argument("ExperimentConfig.eval_every must be >= 1");
+  }
+  if (!(cfg.dropout_prob >= 0.0) || cfg.dropout_prob >= 1.0) {
+    throw std::invalid_argument(
+        "ExperimentConfig.dropout_prob must be in [0, 1), got " +
+        std::to_string(cfg.dropout_prob));
+  }
+  cfg.fault.validate();
+  return cfg;
+}
+
+// The legacy dropout_prob knob maps onto the fault engine's pre-round
+// class: same "no impact" semantics (no compute, no comm), now sharing the
+// engine's deterministic per-(client, round) schedule.
+FaultPlan merged_plan(const ExperimentConfig& cfg) {
+  FaultPlan plan = cfg.fault;
+  if (cfg.dropout_prob > 0.0 && plan.pre_round_dropout == 0.0) {
+    plan.pre_round_dropout = cfg.dropout_prob;
+  }
+  return plan;
+}
+
 }  // namespace
 
 Federation::Federation(ExperimentConfig cfg)
@@ -28,7 +67,9 @@ Federation::Federation(ExperimentConfig cfg)
 
 Federation::Federation(ExperimentConfig cfg,
                        std::vector<data::ClientData> data)
-    : cfg_(std::move(cfg)),
+    : cfg_(validated(std::move(cfg))),
+      faults_(merged_plan(cfg_), cfg_.seed),
+      validator_(faults_.plan().max_update_norm),
       clients_(build_clients(std::move(data))),
       workspace_(nn::build_model(cfg_.model, cfg_.seed)) {
   if (clients_.empty()) {
@@ -70,21 +111,117 @@ std::vector<std::size_t> Federation::sample_round(std::size_t round) const {
   const std::size_t n = clients_.size();
   const auto want = static_cast<std::size_t>(
       cfg_.sample_fraction * static_cast<double>(n));
-  const std::size_t k = std::clamp<std::size_t>(want, 1, n);
+  std::size_t k = std::clamp<std::size_t>(want, 1, n);
+  if (faults_.active() && faults_.plan().over_select_fraction > 0.0) {
+    // Over-selection: hedge expected dropouts by inviting extra clients, so
+    // the surviving cohort stays near the configured size.
+    const auto hedged = static_cast<std::size_t>(std::ceil(
+        static_cast<double>(k) *
+        (1.0 + faults_.plan().over_select_fraction)));
+    const std::size_t extra = std::clamp<std::size_t>(hedged, k, n) - k;
+    OBS_COUNTER_ADD("fault.over_selected", extra);
+    k += extra;
+  }
   util::Rng rng = util::Rng(cfg_.seed).split(0xA11CE000ULL + round);
   auto ids = rng.sample_without_replacement(n, k);
-  if (cfg_.dropout_prob > 0.0) {
+  if (faults_.active()) {
+    // Pre-round dropouts "have no impact" (paper §4.2): no compute, no
+    // comm. Decisions come from the engine's per-(client, round) streams,
+    // not from the sampling stream, so enabling other fault classes cannot
+    // reshuffle the cohort.
     std::vector<std::size_t> survivors;
     for (const std::size_t id : ids) {
-      if (rng.uniform() >= cfg_.dropout_prob) survivors.push_back(id);
+      if (faults_.decide(id, round).drop_pre_round) {
+        OBS_COUNTER_ADD("fault.injected.pre_round_dropout", 1);
+      } else {
+        survivors.push_back(id);
+      }
     }
-    // Clients who quit "have no impact" (paper §4.2), but a round needs at
-    // least one participant to aggregate anything.
+    // A round needs at least one participant to aggregate anything.
     if (survivors.empty()) survivors.push_back(ids.front());
     ids = std::move(survivors);
   }
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+bool Federation::deliver_update(std::size_t client, std::size_t round,
+                                std::vector<float>& params,
+                                std::uint64_t upload_floats) {
+  OBS_SPAN_ARG("fault.deliver", client);
+  const char* reject = nullptr;
+  if (!faults_.active()) {
+    // Fault-free fast path: one upload, then the always-on server-side
+    // screen (read-only for finite updates, so bit-identical to the
+    // pre-fault-engine behavior).
+    if (upload_floats > 0) comm_.upload_floats(upload_floats);
+    reject = validator_.check(params);
+    if (reject == nullptr) return true;
+    OBS_COUNTER_ADD("fault.rejected_updates", 1);
+    FC_LOG_WARN << "client " << client << " round " << round
+                << ": update quarantined (" << reject << ")";
+    return false;
+  }
+
+  const FaultPlan& plan = faults_.plan();
+  const FaultDecision d = faults_.decide(client, round);
+  if (d.crash_post_train) {
+    // Compute spent, update lost before any byte moved.
+    OBS_COUNTER_ADD("fault.injected.post_train_crash", 1);
+    OBS_COUNTER_ADD("fault.lost_updates", 1);
+    return false;
+  }
+
+  // Simulated round time in normalized units: a fault-free client costs
+  // 1.0; stragglers stretch it; every retransmission adds exponential
+  // backoff. Wall-clock never enters, so the schedule is thread-invariant.
+  double sim_time = d.straggler ? d.delay_factor : 1.0;
+  if (d.straggler) OBS_COUNTER_ADD("fault.injected.straggler", 1);
+
+  // Bounded retry-with-backoff: every attempt (including failed ones) puts
+  // bytes on the wire.
+  const bool comm_ok = d.transient_failures <= plan.max_retries;
+  const std::size_t transmissions =
+      comm_ok ? d.transient_failures + 1 : plan.max_retries + 1;
+  if (upload_floats > 0) {
+    comm_.upload_floats(upload_floats * transmissions);
+  }
+  if (transmissions > 1) {
+    OBS_COUNTER_ADD("fault.injected.comm_transient", d.transient_failures);
+    OBS_COUNTER_ADD("fault.retries", transmissions - 1);
+    for (std::size_t i = 1; i < transmissions; ++i) {
+      sim_time += 0.25 * static_cast<double>(1ULL << (i - 1));
+    }
+  }
+  OBS_HISTOGRAM_OBSERVE("fault.sim_round_time", sim_time);
+  if (!comm_ok) {
+    OBS_COUNTER_ADD("fault.comm_failed", 1);
+    OBS_COUNTER_ADD("fault.lost_updates", 1);
+    return false;
+  }
+
+  // The server closes the round at the deadline; a late update was still
+  // transmitted (comm spent) but is discarded.
+  if (plan.round_deadline > 0.0 && sim_time > plan.round_deadline) {
+    OBS_COUNTER_ADD("fault.deadline_missed", 1);
+    OBS_COUNTER_ADD("fault.lost_updates", 1);
+    return false;
+  }
+
+  if (d.corrupt != CorruptionKind::kNone) {
+    faults_.corrupt_update(params, client, round, d.corrupt);
+    OBS_COUNTER_ADD("fault.injected.corrupted_update", 1);
+  }
+
+  // Quarantine before the update can touch any FP reduction.
+  reject = validator_.check(params);
+  if (reject != nullptr) {
+    OBS_COUNTER_ADD("fault.rejected_updates", 1);
+    FC_LOG_DEBUG << "client " << client << " round " << round
+                 << ": update quarantined (" << reject << ")";
+    return false;
+  }
+  return true;
 }
 
 util::Rng Federation::train_rng(std::size_t client, std::size_t round) const {

@@ -15,6 +15,7 @@
 #include "data/partition.h"
 #include "fl/client.h"
 #include "fl/comm.h"
+#include "fl/fault.h"
 #include "nn/model_zoo.h"
 
 namespace fedclust::fl {
@@ -77,16 +78,24 @@ struct ExperimentConfig {
   std::size_t rounds = 40;
   double sample_fraction = 0.1;  // R in Algorithm 1
   std::size_t eval_every = 1;    // evaluate-all cadence (rounds)
-  // Probability that a sampled client drops out of the round before
-  // returning its update (unreliable-communication simulation, paper §4.2).
-  // At least one sampled client always survives so every round aggregates.
+  // DEPRECATED (unreliable-communication knob, paper §4.2): folded into
+  // fault.pre_round_dropout at Federation construction when the fault plan
+  // does not set its own value. Note the semantics it keeps: a pre-round
+  // dropout never trains (no compute, no comm), unlike
+  // fault.post_train_crash, which spends the compute and loses the update —
+  // the cost profile the paper's "quit after upload" reading implies.
   double dropout_prob = 0.0;
+  // Fault-injection schedule + server resilience policy (see fl/fault.h).
+  FaultPlan fault;
   std::uint64_t seed = 1;
 };
 
 class Federation {
  public:
   // Synthesizes the client population from cfg.fed / cfg.data_spec.
+  // Both constructors validate cfg (sample_fraction, rounds, eval_every,
+  // dropout_prob, fault plan) and throw std::invalid_argument naming the
+  // offending field.
   explicit Federation(ExperimentConfig cfg);
   // Injects pre-built client data (newcomer experiments hold some out).
   Federation(ExperimentConfig cfg, std::vector<data::ClientData> data);
@@ -121,9 +130,31 @@ class Federation {
   nn::Model* acquire_workspace();
   void release_workspace(nn::Model* m);
 
-  // max(R*N, 1) distinct client ids for the given round, minus dropouts
-  // (cfg().dropout_prob); deterministic in (seed, round), never empty.
+  // max(R*N, 1) distinct client ids for the given round — over-selected by
+  // fault.over_select_fraction to hedge expected dropouts, minus the fault
+  // engine's pre-round dropouts (which absorb the legacy dropout_prob);
+  // deterministic in (seed, round), never empty.
   std::vector<std::size_t> sample_round(std::size_t round) const;
+
+  // The fault schedule and the server's update quarantine for this
+  // federation. The engine's decisions are pure functions of
+  // (seed, client, round); see fl/fault.h.
+  const FaultEngine& faults() const { return faults_; }
+  const UpdateValidator& validator() const { return validator_; }
+
+  // Resolves post-train delivery of one client's update for (client, round):
+  // post-train crashes lose the update before any upload; transient comm
+  // faults retransmit (every attempt is billed to comm()) until success or
+  // the retry budget runs out; stragglers and backoff delays are checked
+  // against fault.round_deadline; surviving updates are deterministically
+  // corrupted when scheduled and then screened by validator(). Returns true
+  // iff `params` may enter aggregation — false means the server never got a
+  // usable update (the caller must exclude it from every reduction).
+  // Emits fault.* counters for each injection and defense. Thread-safe:
+  // callable from worker chunks (all shared state is atomic).
+  bool deliver_update(std::size_t client, std::size_t round,
+                      std::vector<float>& params,
+                      std::uint64_t upload_floats);
 
   // Deterministic RNG stream for (client, round) local training. Thread-safe:
   // splitting is a pure function of (seed, client, round), so concurrent
@@ -145,6 +176,8 @@ class Federation {
 
  private:
   ExperimentConfig cfg_;
+  FaultEngine faults_;
+  UpdateValidator validator_;
   std::vector<SimClient> clients_;
   CommTracker comm_;
   nn::Model workspace_;

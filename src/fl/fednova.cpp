@@ -1,6 +1,7 @@
 #include "fl/fednova.h"
 
 #include "fl/parallel_round.h"
+#include "obs/metrics.h"
 
 namespace fedclust::fl {
 
@@ -21,16 +22,26 @@ void FedNova::round(std::size_t r) {
         job.rng = fed_.train_rng(c, r);
         job.download_floats = p;
         job.upload_floats = p;
+        job.round = r;
         return job;
       });
 
-  // Accumulate sum_i p_i d_i and tau_eff in one pass (client-index order).
+  if (!any_delivered(results)) {
+    OBS_COUNTER_ADD("fault.empty_rounds", 1);
+    return;  // all updates lost: global carries forward unchanged
+  }
+
+  // Accumulate sum_i p_i d_i and tau_eff over the delivered updates in one
+  // pass (client-index order).
   std::vector<double> direction(p, 0.0);
   double total_weight = 0.0;
-  for (const auto& res : results) total_weight += res.weight;
+  for (const auto& res : results) {
+    if (res.delivered) total_weight += res.weight;
+  }
 
   double tau_eff = 0.0;
   for (const auto& res : results) {
+    if (!res.delivered) continue;
     const double pi = res.weight / total_weight;
     const double tau = static_cast<double>(
         fed_.client(res.client).local_steps(fed_.cfg().local));

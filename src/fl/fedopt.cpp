@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fl/parallel_round.h"
+#include "obs/metrics.h"
 
 namespace fedclust::fl {
 
@@ -34,8 +35,15 @@ void FedOpt::round(std::size_t r) {
         job.rng = fed_.train_rng(c, r);
         job.download_floats = p;
         job.upload_floats = p;
+        job.round = r;
         return job;
       });
+
+  if (!any_delivered(results)) {
+    // No pseudo-gradient this round; model and optimizer state stand still.
+    OBS_COUNTER_ADD("fault.empty_rounds", 1);
+    return;
+  }
   const auto mean_w = weighted_average(to_entries(results));
 
   // Pseudo-gradient = aggregated movement away from the current global.

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "fl/parallel_round.h"
+#include "obs/metrics.h"
 
 namespace fedclust::fl {
 
@@ -51,6 +52,7 @@ void Ifca::round(std::size_t r) {
   std::vector<std::size_t> chosen(sampled.size());
   std::vector<std::vector<float>> locals(sampled.size());
   std::vector<double> weights(sampled.size());
+  std::vector<char> delivered(sampled.size(), 1);
   ParallelRoundRunner runner(fed_);
   runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
                                       nn::Model& ws) {
@@ -59,19 +61,32 @@ void Ifca::round(std::size_t r) {
     const std::size_t k = select_cluster_with(ws, fed_.client(c));
     ws.set_flat_params(models_[k]);
     fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
-    fed_.comm().upload_floats(p);  // trained model + cluster id
     chosen[idx] = k;
     locals[idx] = ws.flat_params();
     weights[idx] = static_cast<double>(fed_.client(c).n_train());
+    // Upload (trained model + cluster id) runs the fault/validation
+    // gauntlet; lost updates are excluded from their cluster's average.
+    delivered[idx] = fed_.deliver_update(c, r, locals[idx], p) ? 1 : 0;
   });
 
   std::vector<std::vector<std::pair<const std::vector<float>*, double>>>
       per_cluster(models_.size());
+  std::vector<std::size_t> chose_cluster(models_.size(), 0);
   for (std::size_t i = 0; i < sampled.size(); ++i) {
-    per_cluster[chosen[i]].emplace_back(&locals[i], weights[i]);
+    ++chose_cluster[chosen[i]];
+    if (delivered[i]) {
+      per_cluster[chosen[i]].emplace_back(&locals[i], weights[i]);
+    }
   }
   for (std::size_t k = 0; k < models_.size(); ++k) {
-    if (per_cluster[k].empty()) continue;
+    if (per_cluster[k].empty()) {
+      // Carried forward unchanged; clients that selected this arm keep
+      // using its last model. Count only fault-induced hollowing.
+      if (chose_cluster[k] > 0) {
+        OBS_COUNTER_ADD("fault.empty_cluster_rounds", 1);
+      }
+      continue;
+    }
     models_[k] = weighted_average(per_cluster[k]);
   }
 }

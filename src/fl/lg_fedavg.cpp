@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fl/parallel_round.h"
+#include "obs/metrics.h"
 
 namespace fedclust::fl {
 
@@ -39,6 +40,7 @@ void LgFedAvg::round(std::size_t r) {
 
   std::vector<std::vector<float>> suffixes(sampled.size());
   std::vector<double> weights(sampled.size());
+  std::vector<char> delivered(sampled.size(), 1);
 
   // Each task touches only its own client's params_[c] slot.
   ParallelRoundRunner runner(fed_);
@@ -51,16 +53,22 @@ void LgFedAvg::round(std::size_t r) {
     ws.set_flat_params(params_[c]);
     fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
     params_[c] = ws.flat_params();
-    fed_.comm().upload_floats(g);
     suffixes[idx].assign(
         params_[c].begin() + static_cast<std::ptrdiff_t>(global_offset_),
         params_[c].end());
     weights[idx] = static_cast<double>(fed_.client(c).n_train());
+    // Only the shared suffix travels; the local prefix stays on-device, so
+    // a lost upload still keeps the client's personal layers trained.
+    delivered[idx] = fed_.deliver_update(c, r, suffixes[idx], g) ? 1 : 0;
   });
 
   std::vector<std::pair<const std::vector<float>*, double>> entries;
   for (std::size_t i = 0; i < suffixes.size(); ++i) {
-    entries.emplace_back(&suffixes[i], weights[i]);
+    if (delivered[i]) entries.emplace_back(&suffixes[i], weights[i]);
+  }
+  if (entries.empty()) {
+    OBS_COUNTER_ADD("fault.empty_rounds", 1);
+    return;  // global suffix carries forward unchanged
   }
   global_suffix_ = weighted_average(entries);
 }

@@ -1,5 +1,6 @@
 #include "fl/parallel_round.h"
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -44,9 +45,10 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
     const float loss = fed_.client(c).train(
         ws, job.opts, job.rng, job.prox_ref,
         job.grad_offset ? &*job.grad_offset : nullptr);
-    if (job.upload_floats > 0) fed_.comm().upload_floats(job.upload_floats);
     results[idx] = {c, ws.flat_params(),
                     static_cast<double>(fed_.client(c).n_train()), loss};
+    results[idx].delivered = fed_.deliver_update(
+        c, job.round, results[idx].params, job.upload_floats);
   });
   return results;
 }
@@ -55,8 +57,30 @@ std::vector<std::pair<const std::vector<float>*, double>> to_entries(
     const std::vector<RoundTrainResult>& results) {
   std::vector<std::pair<const std::vector<float>*, double>> entries;
   entries.reserve(results.size());
-  for (const auto& r : results) entries.emplace_back(&r.params, r.weight);
+  for (const auto& r : results) {
+    if (r.delivered) entries.emplace_back(&r.params, r.weight);
+  }
   return entries;
+}
+
+bool any_delivered(const std::vector<RoundTrainResult>& results) {
+  for (const auto& r : results) {
+    if (r.delivered) return true;
+  }
+  return false;
+}
+
+bool aggregate_or_keep(std::vector<float>& model,
+                       const std::vector<RoundTrainResult>& results) {
+  const auto entries = to_entries(results);
+  if (entries.empty()) {
+    // Every sampled client's update was lost or quarantined: carry the
+    // model forward unchanged rather than aggregating an empty set.
+    OBS_COUNTER_ADD("fault.empty_rounds", 1);
+    return false;
+  }
+  model = weighted_average(entries);
+  return true;
 }
 
 }  // namespace fedclust::fl

@@ -39,6 +39,10 @@ struct RoundTrainJob {
   std::optional<std::vector<float>> grad_offset;
   std::uint64_t download_floats = 0;  // accounted before training
   std::uint64_t upload_floats = 0;    // accounted after training
+  // Round id keying the fault schedule for this client step (algorithms set
+  // it to the communication round, or a salted id for out-of-band passes
+  // like CFL's split sweep). Decisions are pure in (seed, client, round).
+  std::size_t round = 0;
 };
 
 struct RoundTrainResult {
@@ -46,6 +50,11 @@ struct RoundTrainResult {
   std::vector<float> params;  // post-training flat parameters
   double weight = 0.0;        // client's n_train (FedAvg weighting)
   float loss = 0.0f;          // mean training loss of the final epoch
+  // False when the server never got a usable update — post-train crash,
+  // retry budget exhausted, deadline missed, or quarantined by the
+  // validator. Undelivered results must stay out of every reduction;
+  // to_entries() and aggregate_or_keep() already filter them.
+  bool delivered = true;
 };
 
 class ParallelRoundRunner {
@@ -66,9 +75,12 @@ class ParallelRoundRunner {
       const std::function<void(std::size_t, std::size_t, nn::Model&)>& fn);
 
   // The canonical round step shared by most algorithms: download, load
-  // job.start, train, upload, collect. job_of(idx, client) is called from
-  // worker threads and must only read round-constant or per-client state.
-  // Results come back indexed like `clients`.
+  // job.start, train, then resolve delivery through the federation's fault
+  // engine (upload accounting, retries, corruption, validation — see
+  // Federation::deliver_update), collect. job_of(idx, client) is called
+  // from worker threads and must only read round-constant or per-client
+  // state. Results come back indexed like `clients`, undelivered ones
+  // flagged.
   std::vector<RoundTrainResult> train_clients(
       const std::vector<std::size_t>& clients,
       const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of);
@@ -77,8 +89,19 @@ class ParallelRoundRunner {
   Federation& fed_;
 };
 
-// weighted_average input view over train results (index order preserved).
+// weighted_average input view over the *delivered* train results (index
+// order preserved; faulted updates are skipped).
 std::vector<std::pair<const std::vector<float>*, double>> to_entries(
     const std::vector<RoundTrainResult>& results);
+
+// True when at least one update survived the round's faults — check before
+// dividing by a total weight.
+bool any_delivered(const std::vector<RoundTrainResult>& results);
+
+// Weighted-averages the delivered results into `model`. When every update
+// was lost the model is left untouched (graceful degradation) and
+// fault.empty_rounds is bumped; returns whether an aggregate was applied.
+bool aggregate_or_keep(std::vector<float>& model,
+                       const std::vector<RoundTrainResult>& results);
 
 }  // namespace fedclust::fl

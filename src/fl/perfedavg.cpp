@@ -4,6 +4,7 @@
 
 #include "fl/parallel_round.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 
 namespace fedclust::fl {
@@ -73,17 +74,22 @@ void PerFedAvg::round(std::size_t r) {
 
   std::vector<std::vector<float>> updates(sampled.size());
   std::vector<double> weights(sampled.size());
+  std::vector<char> delivered(sampled.size(), 1);
   ParallelRoundRunner runner(fed_);
   runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
                                       nn::Model& ws) {
     fed_.comm().download_floats(p);
     updates[idx] = maml_train(ws, c, r, meta_);
-    fed_.comm().upload_floats(p);
     weights[idx] = static_cast<double>(fed_.client(c).n_train());
+    delivered[idx] = fed_.deliver_update(c, r, updates[idx], p) ? 1 : 0;
   });
   std::vector<std::pair<const std::vector<float>*, double>> entries;
   for (std::size_t i = 0; i < updates.size(); ++i) {
-    entries.emplace_back(&updates[i], weights[i]);
+    if (delivered[i]) entries.emplace_back(&updates[i], weights[i]);
+  }
+  if (entries.empty()) {
+    OBS_COUNTER_ADD("fault.empty_rounds", 1);
+    return;  // meta-model carries forward unchanged
   }
   meta_ = weighted_average(entries);
 }

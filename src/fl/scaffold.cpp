@@ -1,6 +1,7 @@
 #include "fl/scaffold.h"
 
 #include "fl/parallel_round.h"
+#include "obs/metrics.h"
 
 namespace fedclust::fl {
 
@@ -33,13 +34,23 @@ void Scaffold::round(std::size_t r) {
         job.grad_offset = std::move(offset);
         job.download_floats = 2 * p;  // model + global control variate
         job.upload_floats = 2 * p;    // model + variate delta
+        job.round = r;
         return job;
       });
 
+  if (!any_delivered(results)) {
+    // Every update (and variate delta) was lost: model and variates carry
+    // forward unchanged.
+    OBS_COUNTER_ADD("fault.empty_rounds", 1);
+    return;
+  }
+
   // Option-II variate refresh, sequential in client-index order: c_i' =
-  // c_i - c + (x - y_i)/(K * lr).
+  // c_i - c + (x - y_i)/(K * lr). A lost update loses the variate delta
+  // too, and the server keeps its last c_i (it never saw the new one).
   std::vector<double> dc(p, 0.0);  // accumulated variate delta
   for (const auto& res : results) {
+    if (!res.delivered) continue;
     const auto& local = res.params;
     auto& ci = c_client_[res.client];
     const double k_lr =

@@ -79,6 +79,38 @@ TEST(Determinism, FedClustClusteringIsStable) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+// sample_round edge cases: full participation, heavy dropout, and
+// determinism of the cohort itself.
+TEST(SampleRound, FullFractionSamplesEveryClientSorted) {
+  auto cfg = cfg_for(11);
+  cfg.sample_fraction = 1.0;
+  fl::Federation fed(cfg);
+  for (std::size_t r = 0; r < 5; ++r) {
+    const auto ids = fed.sample_round(r);
+    ASSERT_EQ(ids.size(), fed.n_clients());
+    for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+  }
+}
+
+TEST(SampleRound, NearCertainDropoutNeverYieldsAnEmptyRound) {
+  auto cfg = cfg_for(12);
+  cfg.dropout_prob = 0.999;  // folded into the fault engine's pre-round class
+  fl::Federation fed(cfg);
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_FALSE(fed.sample_round(r).empty()) << "round " << r;
+  }
+}
+
+TEST(SampleRound, CohortIsDeterministicPerRound) {
+  auto cfg = cfg_for(13);
+  cfg.dropout_prob = 0.4;
+  fl::Federation a(cfg);
+  fl::Federation b(cfg);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(a.sample_round(r), b.sample_round(r));
+  }
+}
+
 // Interleaving another federation's work must not perturb a run (no hidden
 // global state): run A, then run B, then run A again.
 TEST(Determinism, NoCrossFederationLeakage) {

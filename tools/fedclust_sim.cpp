@@ -44,6 +44,13 @@ int main(int argc, char** argv) {
     args.add_option("k", "FedClust/PACFL fixed cluster count (0 = use λ)",
                     "0");
     args.add_option("dropout", "client dropout probability", "0");
+    args.add_option("fault-spec",
+                    "fault-injection plan, comma-separated key=value pairs "
+                    "(dropout, crash, straggle, delay, comm, corrupt, "
+                    "corrupt_mode, explode, deadline, retries, over_select, "
+                    "max_norm, only=id:id:...); e.g. "
+                    "\"crash=0.1,straggle=0.2,deadline=4,corrupt=0.05\"",
+                    "");
     args.add_option("seed", "root seed", "1");
     args.add_option("out", "trace CSV path (empty = don't write)", "");
     args.add_option("trace-out",
@@ -86,6 +93,7 @@ int main(int argc, char** argv) {
     cfg.rounds = static_cast<std::size_t>(args.integer("rounds"));
     cfg.sample_fraction = args.real("sample");
     cfg.dropout_prob = args.real("dropout");
+    cfg.fault = fl::FaultPlan::parse(args.str("fault-spec"));
     cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
     cfg.algo.fedclust_lambda = static_cast<float>(args.real("lambda"));
     cfg.algo.fedclust_k = static_cast<std::size_t>(args.integer("k"));

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full release test suite, then the concurrency
 # tests (thread pool + parallel round executor + obs stress) rebuilt and
-# re-run under ThreadSanitizer, then an observability smoke run of the
+# re-run under ThreadSanitizer, then the fault-injection tests rebuilt and
+# re-run under Address+UBSanitizer, then an observability smoke run of the
 # simulator CLI. Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,6 +14,10 @@ ctest --preset release -j "$(nproc)"
 cmake --preset tsan
 cmake --build --preset tsan-smoke -j "$(nproc)"
 FEDCLUST_THREADS=4 ctest --preset tsan-smoke
+
+cmake --preset asan
+cmake --build --preset asan-smoke -j "$(nproc)"
+FEDCLUST_THREADS=4 ctest --preset asan-smoke
 
 # Observability smoke: a tiny run must produce a Chrome trace and a
 # per-round JSONL that exist, are non-empty, and parse.
@@ -41,3 +46,15 @@ for line in open(f"{d}/metrics.jsonl"):
 EOF
 fi
 echo "obs smoke ok"
+
+# Fault-injection smoke: a faulted run must complete and surface fault.*
+# counters in the per-round metrics JSONL.
+./build/tools/fedclust_sim --method=FedAvg --clients=8 --rounds=3 \
+    --train=6 --test=4 --sample=0.5 \
+    --fault-spec="crash=0.3,straggle=0.3,delay=4,deadline=2,corrupt=0.3,comm=0.3" \
+    --metrics-out="$smoke_dir/fault_metrics.jsonl" >/dev/null
+[ -s "$smoke_dir/fault_metrics.jsonl" ] ||
+  { echo "fault smoke: metrics missing or empty" >&2; exit 1; }
+grep -q '"fault\.' "$smoke_dir/fault_metrics.jsonl" ||
+  { echo "fault smoke: no fault.* counters in metrics" >&2; exit 1; }
+echo "fault smoke ok"
