@@ -16,8 +16,9 @@ namespace fedclust::core {
 FedClust::FedClust(fl::Federation& fed) : FlAlgorithm(fed) {}
 
 std::vector<float> FedClust::partial_weights_after_warmup(
-    nn::Model& ws, const fl::SimClient& client, util::Rng rng) {
-  ws.set_flat_params(fed_.init_params());
+    nn::Model& ws, const std::vector<float>& start,
+    const fl::SimClient& client, util::Rng rng) {
+  ws.set_flat_params(start);
   fl::LocalTrainOptions warmup = fed_.cfg().local;
   warmup.epochs = std::max<std::size_t>(1, fed_.cfg().algo.fedclust_init_epochs);
   if (fed_.cfg().algo.fedclust_init_lr > 0.0f) {
@@ -34,16 +35,22 @@ void FedClust::setup() {
   // Round 0: broadcast θ0 to every available client; each sends back only
   // the updated final-layer weights. The warmups are the expensive part of
   // setup (every client trains), so they run client-parallel.
+  // θ0 is serialized once and every client warms up from the wire-decoded
+  // broadcast; partial weights travel back in checksummed warmup envelopes.
+  const std::vector<float> rx_init = fed_.through_wire(
+      fl::wire::MessageKind::kModelPull, fed_.init_params(),
+      fl::wire::kServerSender, 0xFEDC0000);
   std::vector<std::vector<float>> partials(n);
   {
     OBS_SPAN("fedclust.warmup");
     fl::ParallelRoundRunner runner(fed_);
     runner.for_each_index(n, [&](std::size_t c, nn::Model& ws) {
       OBS_SPAN_ARG("client.warmup", c);
-      fed_.comm().download_floats(p);
+      fed_.bill_download(p);
       partials[c] = partial_weights_after_warmup(
-          ws, fed_.client(c), fed_.train_rng(c, 0xFEDC0000));
-      fed_.comm().upload_floats(partials[c].size());
+          ws, rx_init, fed_.client(c), fed_.train_rng(c, 0xFEDC0000));
+      partials[c] = fed_.upload_payload(fl::wire::MessageKind::kWarmupWeights,
+                                        partials[c], c, 0xFEDC0000);
     });
   }
 
@@ -109,11 +116,14 @@ std::size_t FedClust::assign_newcomer(const fl::SimClient& newcomer,
   if (cluster_partials_.empty()) {
     throw std::logic_error("FedClust::assign_newcomer before setup");
   }
-  // The newcomer receives θ0, trains briefly, and uploads partial weights.
-  fed_.comm().download_floats(fed_.model_size());
-  const auto partial =
-      partial_weights_after_warmup(fed_.workspace(), newcomer, rng);
-  fed_.comm().upload_floats(partial.size());
+  // The newcomer receives θ0, trains briefly, and uploads partial weights —
+  // both legs through the wire.
+  const std::vector<float> rx_init =
+      fed_.pull_model(fed_.init_params(), 0xFEDC0001, fed_.model_size());
+  const auto partial = fed_.upload_payload(
+      fl::wire::MessageKind::kWarmupWeights,
+      partial_weights_after_warmup(fed_.workspace(), rx_init, newcomer, rng),
+      fed_.n_clients(), 0xFEDC0001);
 
   // Eq. 4: nearest stored cluster centroid in L2.
   float best = std::numeric_limits<float>::infinity();
@@ -125,7 +135,14 @@ std::size_t FedClust::assign_newcomer(const fl::SimClient& newcomer,
       best_k = k;
     }
   }
-  return best_k;
+  // The verdict travels back as a cluster-assignment envelope. Assignment
+  // messages were modeled byte-free before the wire layer, so the exchange
+  // is serialized and CRC-verified but not billed.
+  const std::vector<float> verdict = fed_.through_wire(
+      fl::wire::MessageKind::kClusterAssign,
+      std::vector<float>{static_cast<float>(best_k)}, fl::wire::kServerSender,
+      0xFEDC0001);
+  return static_cast<std::size_t>(verdict.front());
 }
 
 }  // namespace fedclust::core

@@ -62,11 +62,12 @@ class FedClust : public fl::FlAlgorithm {
   }
 
  private:
-  // Trains θ0 on the given client data for the init epochs through the
-  // given workspace and returns the classifier slice of the result.
-  std::vector<float> partial_weights_after_warmup(nn::Model& ws,
-                                                  const fl::SimClient& client,
-                                                  util::Rng rng);
+  // Trains from `start` (the wire-decoded broadcast of θ0) on the given
+  // client data for the init epochs through the given workspace and returns
+  // the classifier slice of the result.
+  std::vector<float> partial_weights_after_warmup(
+      nn::Model& ws, const std::vector<float>& start,
+      const fl::SimClient& client, util::Rng rng);
 
   ClusteringReport report_;
   std::vector<std::vector<float>> cluster_models_;

@@ -1,0 +1,225 @@
+#include "fl/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "util/serialization.h"
+
+namespace fedclust::fl::wire {
+
+// ------------------------------------------------------------------ names
+
+const char* codec_name(CodecId id) {
+  switch (id) {
+    case CodecId::kRawF32: return "raw_f32";
+    case CodecId::kF16: return "f16";
+    case CodecId::kQInt8: return "qint8";
+  }
+  return "unknown";
+}
+
+CodecId codec_from_string(const std::string& name) {
+  if (name == "raw_f32") return CodecId::kRawF32;
+  if (name == "f16") return CodecId::kF16;
+  if (name == "qint8") return CodecId::kQInt8;
+  throw std::invalid_argument("unknown codec: " + name +
+                              " (expected raw_f32, f16, or qint8)");
+}
+
+bool codec_id_valid(std::uint8_t raw) { return raw < kNumCodecs; }
+
+// ------------------------------------------------------------------ f16
+
+std::uint16_t f32_to_f16(float v) {
+  std::uint32_t f;
+  std::memcpy(&f, &v, sizeof(f));
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  f &= 0x7fffffffu;
+
+  if (f >= 0x7f800000u) {  // inf / nan
+    const std::uint32_t mant = f & 0x7fffffu;
+    if (mant == 0) return static_cast<std::uint16_t>(sign | 0x7c00u);
+    const std::uint32_t hm = mant >> 13;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (hm ? hm : 1u));
+  }
+
+  const std::int32_t exp = static_cast<std::int32_t>(f >> 23) - 127;
+  const std::uint32_t mant = f & 0x7fffffu;
+  if (exp >= 16) return static_cast<std::uint16_t>(sign | 0x7c00u);
+
+  if (exp >= -14) {
+    // Normal half: drop 13 mantissa bits with round-to-nearest-even. A
+    // mantissa carry propagates into the exponent field, and an exponent
+    // carry out of range lands exactly on the inf encoding.
+    const std::uint32_t hexp = static_cast<std::uint32_t>(exp + 15);
+    std::uint32_t combined = (hexp << 10) | (mant >> 13);
+    const std::uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (combined & 1u))) ++combined;
+    return static_cast<std::uint16_t>(sign | combined);
+  }
+
+  if (exp >= -25) {
+    // Subnormal half: value = q * 2^-24 with RNE on the shifted-out bits.
+    const std::uint32_t full = mant | 0x800000u;
+    const std::uint32_t shift = static_cast<std::uint32_t>(-1 - exp);  // 14..24
+    std::uint32_t q = full >> shift;
+    const std::uint32_t rem = full & ((1u << shift) - 1u);
+    const std::uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (q & 1u))) ++q;
+    return static_cast<std::uint16_t>(sign | q);
+  }
+
+  return static_cast<std::uint16_t>(sign);  // underflow to signed zero
+}
+
+float f16_to_f32(std::uint16_t h) {
+  const std::uint32_t sign = (std::uint32_t{h} & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t mant = h & 0x3ffu;
+  std::uint32_t bits;
+  if (exp == 0x1fu) {
+    bits = sign | 0x7f800000u | (mant << 13);
+  } else if (exp != 0) {
+    bits = sign | ((exp + 112u) << 23) | (mant << 13);
+  } else if (mant != 0) {
+    // Subnormal half: normalize into a float with an implicit leading 1.
+    std::uint32_t e = 113;
+    while (!(mant & 0x400u)) {
+      mant <<= 1;
+      --e;
+    }
+    bits = sign | (e << 23) | ((mant & 0x3ffu) << 13);
+  } else {
+    bits = sign;
+  }
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// ------------------------------------------------------------------ sizes
+
+namespace {
+
+std::size_t qint8_chunks(std::size_t n) {
+  return (n + kQuantChunk - 1) / kQuantChunk;
+}
+
+void check_len(std::size_t len, std::size_t want, const char* codec) {
+  if (len != want) {
+    throw std::runtime_error(std::string("codec ") + codec +
+                             ": payload length mismatch");
+  }
+}
+
+}  // namespace
+
+std::size_t encoded_size(CodecId codec, std::size_t n) {
+  switch (codec) {
+    case CodecId::kRawF32: return n * 4;
+    case CodecId::kF16: return n * 2;
+    case CodecId::kQInt8: return n + qint8_chunks(n) * 8;
+  }
+  throw std::invalid_argument("encoded_size: bad codec id");
+}
+
+// ------------------------------------------------------------------ encode
+
+std::vector<std::uint8_t> encode_payload(CodecId codec, const float* data,
+                                         std::size_t n) {
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(codec, n));
+  switch (codec) {
+    case CodecId::kRawF32:
+      for (std::size_t i = 0; i < n; ++i) util::put_f32_le(out, data[i]);
+      return out;
+    case CodecId::kF16:
+      for (std::size_t i = 0; i < n; ++i) {
+        util::put_u16_le(out, f32_to_f16(data[i]));
+      }
+      return out;
+    case CodecId::kQInt8: {
+      for (std::size_t i0 = 0; i0 < n; i0 += kQuantChunk) {
+        const std::size_t m = std::min(kQuantChunk, n - i0);
+        float lo = data[i0], hi = data[i0];
+        bool finite = true;
+        for (std::size_t i = i0; i < i0 + m; ++i) {
+          if (!std::isfinite(data[i])) finite = false;
+          lo = std::min(lo, data[i]);
+          hi = std::max(hi, data[i]);
+        }
+        const float scale = finite ? (hi - lo) / 255.0f : 0.0f;
+        if (!finite || !std::isfinite(scale)) {
+          // Poisoned chunk: a NaN scale makes the whole chunk decode to
+          // NaN, so non-finite corruption survives the lossy codec instead
+          // of being quantized back into the finite range.
+          util::put_f32_le(out, std::numeric_limits<float>::quiet_NaN());
+          util::put_f32_le(out, 0.0f);
+          out.insert(out.end(), m, std::uint8_t{0});
+          continue;
+        }
+        util::put_f32_le(out, scale);
+        util::put_f32_le(out, lo);
+        for (std::size_t i = i0; i < i0 + m; ++i) {
+          std::uint8_t q = 0;
+          if (scale > 0.0f) {
+            const float t = (data[i] - lo) / scale;
+            const long r = std::lroundf(t);
+            q = static_cast<std::uint8_t>(r < 0 ? 0 : (r > 255 ? 255 : r));
+          }
+          out.push_back(q);
+        }
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument("encode_payload: bad codec id");
+}
+
+// ------------------------------------------------------------------ decode
+
+std::vector<float> decode_payload(CodecId codec, const std::uint8_t* data,
+                                  std::size_t len, std::size_t n) {
+  std::vector<float> out;
+  out.reserve(n);
+  switch (codec) {
+    case CodecId::kRawF32:
+      check_len(len, n * 4, "raw_f32");
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(util::get_f32_le(data + i * 4));
+      }
+      return out;
+    case CodecId::kF16:
+      check_len(len, n * 2, "f16");
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(f16_to_f32(util::get_u16_le(data + i * 2)));
+      }
+      return out;
+    case CodecId::kQInt8: {
+      check_len(len, encoded_size(CodecId::kQInt8, n), "qint8");
+      std::size_t pos = 0;
+      for (std::size_t i0 = 0; i0 < n; i0 += kQuantChunk) {
+        const std::size_t m = std::min(kQuantChunk, n - i0);
+        const float scale = util::get_f32_le(data + pos);
+        const float lo = util::get_f32_le(data + pos + 4);
+        pos += 8;
+        if (!std::isfinite(scale) || !std::isfinite(lo)) {
+          out.insert(out.end(), m, std::numeric_limits<float>::quiet_NaN());
+          pos += m;
+          continue;
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+          out.push_back(lo + scale * static_cast<float>(data[pos + i]));
+        }
+        pos += m;
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument("decode_payload: bad codec id");
+}
+
+}  // namespace fedclust::fl::wire

@@ -1,0 +1,69 @@
+#pragma once
+
+// Pluggable payload codecs for the wire layer. A codec turns a flat float
+// vector into bytes and back; encode/decode are pure deterministic functions
+// of the payload (no RNG, no global state), so a lossy codec still preserves
+// thread-count invariance — every thread schedule sees the same decoded
+// floats.
+//
+//   raw_f32  4 bytes/value, byte-exact round trip (including NaN payload
+//            bits). The default: all determinism / invariance guarantees
+//            hold bit-identically.
+//   f16      2 bytes/value, IEEE 754 binary16 with round-to-nearest-even.
+//            Values above 65504 in magnitude overflow to +/-inf (the update
+//            validator quarantines them downstream).
+//   qint8    per-chunk affine quantization: the payload is split into
+//            256-value chunks; each chunk stores f32 scale + f32 min + one
+//            byte per value (q = round((v - min) / scale)). A chunk holding
+//            any non-finite value encodes scale = NaN and decodes to
+//            all-NaN, so corrupted updates cannot silently re-enter the
+//            finite range. ~3.88x smaller than raw_f32.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedclust::fl::wire {
+
+enum class CodecId : std::uint8_t {
+  kRawF32 = 0,
+  kF16 = 1,
+  kQInt8 = 2,
+};
+
+inline constexpr std::size_t kNumCodecs = 3;
+
+// Values per quantization chunk for qint8 (each chunk carries an 8-byte
+// f32 scale + f32 min prefix).
+inline constexpr std::size_t kQuantChunk = 256;
+
+// Stable lowercase name ("raw_f32", "f16", "qint8"); returned pointer is a
+// string literal.
+const char* codec_name(CodecId id);
+
+// Parses a codec name; throws std::invalid_argument naming the input on
+// unknown codecs.
+CodecId codec_from_string(const std::string& name);
+
+bool codec_id_valid(std::uint8_t raw);
+
+// Exact encoded byte count for `n` floats — a pure function of (codec, n),
+// always equal to encode_payload(...).size() (asserted in wire_test).
+std::size_t encoded_size(CodecId codec, std::size_t n);
+
+// Encodes `n` floats into the codec's byte representation (no envelope
+// header — see wire.h for framing).
+std::vector<std::uint8_t> encode_payload(CodecId codec, const float* data,
+                                         std::size_t n);
+
+// Decodes a payload previously produced by encode_payload. `n` is the
+// element count from the envelope header; throws std::runtime_error when
+// `len` is inconsistent with (codec, n) or the bytes are malformed.
+std::vector<float> decode_payload(CodecId codec, const std::uint8_t* data,
+                                  std::size_t len, std::size_t n);
+
+// IEEE 754 binary16 conversions (round-to-nearest-even); exposed for tests.
+std::uint16_t f32_to_f16(float v);
+float f16_to_f32(std::uint16_t h);
+
+}  // namespace fedclust::fl::wire

@@ -1,3 +1,60 @@
 #include "fl/comm.h"
 
-// Header-only for now; this TU anchors the target.
+#include "fl/wire.h"
+#include "obs/metrics.h"
+
+namespace fedclust::fl {
+
+namespace {
+
+// One envelope header per message (see wire.h layout).
+std::uint64_t framed_bytes(std::uint64_t encoded_bytes,
+                           std::uint64_t messages) {
+  return messages * (encoded_bytes + wire::kHeaderSize);
+}
+
+}  // namespace
+
+void CommTracker::upload_envelope(std::uint64_t n_floats,
+                                  std::uint64_t encoded_bytes,
+                                  std::uint64_t messages) {
+  if (messages == 0) return;
+  const std::uint64_t encoded_total = messages * encoded_bytes;
+  const std::uint64_t payload_total = messages * n_floats * 4;
+  const std::uint64_t wire_total = framed_bytes(encoded_bytes, messages);
+  bytes_up_.fetch_add(encoded_total, std::memory_order_relaxed);
+  payload_bytes_.fetch_add(payload_total, std::memory_order_relaxed);
+  wire_bytes_.fetch_add(wire_total, std::memory_order_relaxed);
+  messages_.fetch_add(messages, std::memory_order_relaxed);
+  OBS_COUNTER_ADD("comm.bytes_up", encoded_total);
+  OBS_COUNTER_ADD("comm.payload_bytes", payload_total);
+  OBS_COUNTER_ADD("comm.wire_bytes", wire_total);
+  OBS_COUNTER_ADD("comm.messages", messages);
+}
+
+void CommTracker::download_envelope(std::uint64_t n_floats,
+                                    std::uint64_t encoded_bytes,
+                                    std::uint64_t messages) {
+  if (messages == 0) return;
+  const std::uint64_t encoded_total = messages * encoded_bytes;
+  const std::uint64_t payload_total = messages * n_floats * 4;
+  const std::uint64_t wire_total = framed_bytes(encoded_bytes, messages);
+  bytes_down_.fetch_add(encoded_total, std::memory_order_relaxed);
+  payload_bytes_.fetch_add(payload_total, std::memory_order_relaxed);
+  wire_bytes_.fetch_add(wire_total, std::memory_order_relaxed);
+  messages_.fetch_add(messages, std::memory_order_relaxed);
+  OBS_COUNTER_ADD("comm.bytes_down", encoded_total);
+  OBS_COUNTER_ADD("comm.payload_bytes", payload_total);
+  OBS_COUNTER_ADD("comm.wire_bytes", wire_total);
+  OBS_COUNTER_ADD("comm.messages", messages);
+}
+
+void CommTracker::reset() {
+  bytes_up_.store(0, std::memory_order_relaxed);
+  bytes_down_.store(0, std::memory_order_relaxed);
+  payload_bytes_.store(0, std::memory_order_relaxed);
+  wire_bytes_.store(0, std::memory_order_relaxed);
+  messages_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fedclust::fl

@@ -4,6 +4,15 @@
 // simulator goes through a CommTracker, so Table 5's "Mb to reach target
 // accuracy" is measured, not estimated.
 //
+// Since the wire-layer PR, transfers are billed per *envelope*: the tracker
+// records the codec-encoded payload bytes that actually crossed the wire
+// (what `bytes_up`/`bytes_down` and the paper-facing Mb figures report —
+// for the default raw_f32 codec this is exactly the pre-wire n*4), plus two
+// side ledgers: the logical float32 payload volume (`payload_bytes`) and
+// the full framed volume including envelope headers (`wire_bytes`). The
+// payload/wire pair is what the compression-ratio report and the
+// `comm.payload_bytes` / `comm.wire_bytes` obs counters are built from.
+//
 // Counters are relaxed atomics: client-parallel rounds account transfers
 // from worker threads concurrently, and byte totals are pure commutative
 // sums, so relaxed increments keep the counts exact at any thread count.
@@ -11,21 +20,33 @@
 #include <atomic>
 #include <cstdint>
 
-#include "obs/metrics.h"
+#include "fl/codec.h"
 
 namespace fedclust::fl {
 
 class CommTracker {
  public:
-  // Client -> server transfer of n float32 values.
+  // Codec used by the deprecated float-count shims below to derive encoded
+  // bytes. Set once at Federation construction, before any transfer.
+  void set_codec(wire::CodecId codec) { codec_ = codec; }
+  wire::CodecId codec() const { return codec_; }
+
+  // Client -> server: `messages` envelopes, each carrying `n_floats`
+  // logical float32 values serialized to `encoded_bytes` payload bytes.
+  void upload_envelope(std::uint64_t n_floats, std::uint64_t encoded_bytes,
+                       std::uint64_t messages = 1);
+  // Server -> client.
+  void download_envelope(std::uint64_t n_floats, std::uint64_t encoded_bytes,
+                         std::uint64_t messages = 1);
+
+  // Deprecated count-based shims for call sites that never materialize an
+  // envelope; they bill one envelope of `n` floats through the configured
+  // codec. Prefer upload_envelope/download_envelope with measured bytes.
   void upload_floats(std::uint64_t n) {
-    bytes_up_.fetch_add(n * 4, std::memory_order_relaxed);
-    OBS_COUNTER_ADD("comm.bytes_up", n * 4);
+    upload_envelope(n, wire::encoded_size(codec_, n));
   }
-  // Server -> client transfer.
   void download_floats(std::uint64_t n) {
-    bytes_down_.fetch_add(n * 4, std::memory_order_relaxed);
-    OBS_COUNTER_ADD("comm.bytes_down", n * 4);
+    download_envelope(n, wire::encoded_size(codec_, n));
   }
 
   std::uint64_t bytes_up() const {
@@ -35,19 +56,41 @@ class CommTracker {
     return bytes_down_.load(std::memory_order_relaxed);
   }
   std::uint64_t bytes_total() const { return bytes_up() + bytes_down(); }
+
+  // Logical transfer volume: every moved float at 4 bytes, codec-agnostic.
+  std::uint64_t payload_bytes() const {
+    return payload_bytes_.load(std::memory_order_relaxed);
+  }
+  // Framed volume: encoded payload plus one header per envelope.
+  std::uint64_t wire_bytes() const {
+    return wire_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  // payload/wire; > 1 when the codec compresses, slightly < 1 for raw_f32
+  // (headers). 0 when nothing moved.
+  double compression_ratio() const {
+    const std::uint64_t w = wire_bytes();
+    return w == 0 ? 0.0
+                  : static_cast<double>(payload_bytes()) /
+                        static_cast<double>(w);
+  }
+
   // Megabits, the unit of the paper's Table 5.
   double total_mb() const {
     return static_cast<double>(bytes_total()) * 8.0 / 1e6;
   }
 
-  void reset() {
-    bytes_up_.store(0, std::memory_order_relaxed);
-    bytes_down_.store(0, std::memory_order_relaxed);
-  }
+  void reset();
 
  private:
+  wire::CodecId codec_ = wire::CodecId::kRawF32;
   std::atomic<std::uint64_t> bytes_up_{0};
   std::atomic<std::uint64_t> bytes_down_{0};
+  std::atomic<std::uint64_t> payload_bytes_{0};
+  std::atomic<std::uint64_t> wire_bytes_{0};
+  std::atomic<std::uint64_t> messages_{0};
 };
 
 }  // namespace fedclust::fl

@@ -20,16 +20,21 @@ void Ditto::round(std::size_t r) {
   LocalTrainOptions prox_opts = fed_.cfg().local;
   prox_opts.prox_mu = lambda_;
 
+  // Serialize the global model once per round; every client trains from
+  // (and regularizes toward) the wire-decoded copy it downloads.
+  const std::vector<float> rx_global = fed_.through_wire(
+      wire::MessageKind::kModelPull, global_, wire::kServerSender, r);
+
   std::vector<std::vector<float>> updates(sampled.size());
   std::vector<double> weights(sampled.size());
   std::vector<char> delivered(sampled.size(), 1);
   ParallelRoundRunner runner(fed_);
   runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
                                       nn::Model& ws) {
-    fed_.comm().download_floats(p);
+    fed_.bill_download(p);
 
     // (1) Global-objective step: plain FedAvg local training.
-    ws.set_flat_params(global_);
+    ws.set_flat_params(rx_global);
     fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
     updates[idx] = ws.flat_params();
     weights[idx] = static_cast<double>(fed_.client(c).n_train());
@@ -40,7 +45,7 @@ void Ditto::round(std::size_t r) {
     // and it proceeds even when the global-step upload was lost.
     ws.set_flat_params(personal_[c]);
     fed_.client(c).train(ws, prox_opts, fed_.train_rng(c, 0xD177000 + r),
-                         &global_);
+                         &rx_global);
     personal_[c] = ws.flat_params();
   });
 

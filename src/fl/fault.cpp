@@ -273,6 +273,19 @@ void FaultEngine::corrupt_update(std::vector<float>& params,
   }
 }
 
+void FaultEngine::corrupt_wire(std::vector<std::uint8_t>& bytes,
+                               std::size_t client, std::size_t round) const {
+  if (bytes.empty()) return;
+  util::Rng rng = util::Rng(seed_).split(kCorruptSalt +
+                                         client * kClientStride + round);
+  const auto n = static_cast<std::int64_t>(bytes.size());
+  for (int i = 0; i < 3; ++i) {
+    std::uint8_t& b = bytes[static_cast<std::size_t>(rng.randint(0, n))];
+    b = static_cast<std::uint8_t>(
+        b ^ (1u << static_cast<std::uint32_t>(rng.randint(0, 8))));
+  }
+}
+
 const char* UpdateValidator::check(const std::vector<float>& params) const {
   double sumsq = 0.0;
   for (const float v : params) {

@@ -114,6 +114,14 @@ class FaultEngine {
   void corrupt_update(std::vector<float>& params, std::size_t client,
                       std::size_t round, CorruptionKind kind) const;
 
+  // Bit-flip corruption against real wire bytes: flips three random bits of
+  // the serialized envelope in place, deterministically in
+  // (seed, client, round) — the same private stream corrupt_update uses, so
+  // at most one of the two runs per delivery. The envelope CRC then catches
+  // the damage before the payload is decoded.
+  void corrupt_wire(std::vector<std::uint8_t>& bytes, std::size_t client,
+                    std::size_t round) const;
+
  private:
   bool applies_to(std::size_t client) const;
 

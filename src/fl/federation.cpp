@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <array>
+#include <atomic>
+
 #include "fl/parallel_round.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -12,6 +15,32 @@
 namespace fedclust::fl {
 
 namespace {
+
+// Per-codec span names ("wire.encode/qint8") built once through the
+// tracer's interning table; the benign store race is fine because intern()
+// is idempotent (equal strings return the same pointer).
+const char* wire_span_name(const char* prefix, wire::CodecId codec,
+                           std::array<std::atomic<const char*>,
+                                      wire::kNumCodecs>& cache) {
+  auto& slot = cache[static_cast<std::size_t>(codec)];
+  const char* name = slot.load(std::memory_order_relaxed);
+  if (name == nullptr) {
+    name = obs::SpanTracer::instance().intern(std::string(prefix) +
+                                              wire::codec_name(codec));
+    slot.store(name, std::memory_order_relaxed);
+  }
+  return name;
+}
+
+const char* encode_span_name(wire::CodecId codec) {
+  static std::array<std::atomic<const char*>, wire::kNumCodecs> cache{};
+  return wire_span_name("wire.encode/", codec, cache);
+}
+
+const char* decode_span_name(wire::CodecId codec) {
+  static std::array<std::atomic<const char*>, wire::kNumCodecs> cache{};
+  return wire_span_name("wire.decode/", codec, cache);
+}
 
 std::vector<SimClient> build_clients(std::vector<data::ClientData> data) {
   std::vector<SimClient> clients;
@@ -76,6 +105,7 @@ Federation::Federation(ExperimentConfig cfg,
     throw std::invalid_argument("Federation: no clients");
   }
   init_params_ = workspace_.flat_params();
+  comm_.set_codec(cfg_.codec);
 }
 
 nn::Model Federation::make_model(std::uint64_t salt) const {
@@ -145,16 +175,107 @@ std::vector<std::size_t> Federation::sample_round(std::size_t round) const {
   return ids;
 }
 
+std::vector<float> Federation::wire_round_trip(
+    wire::MessageKind kind, const float* data, std::size_t n,
+    std::uint64_t sender, std::size_t round,
+    std::uint64_t* encoded_bytes) const {
+  std::vector<std::uint8_t> bytes;
+  {
+    obs::SpanScope span(encode_span_name(cfg_.codec), n);
+    bytes = wire::encode(kind, cfg_.codec, sender, round, data, n);
+  }
+  if (encoded_bytes != nullptr) {
+    *encoded_bytes = bytes.size() - wire::kHeaderSize;
+  }
+  wire::Envelope env;
+  {
+    obs::SpanScope span(decode_span_name(cfg_.codec), n);
+    const wire::DecodeStatus status =
+        wire::try_decode(bytes.data(), bytes.size(), env);
+    if (status != wire::DecodeStatus::kOk) {
+      throw std::runtime_error(std::string("Federation: wire round trip of ") +
+                               wire::message_kind_name(kind) + " failed: " +
+                               wire::decode_status_name(status));
+    }
+  }
+  return std::move(env.payload);
+}
+
+std::vector<float> Federation::through_wire(wire::MessageKind kind,
+                                            const float* data, std::size_t n,
+                                            std::uint64_t sender,
+                                            std::size_t round) const {
+  return wire_round_trip(kind, data, n, sender, round, nullptr);
+}
+
+std::vector<float> Federation::through_wire(wire::MessageKind kind,
+                                            const std::vector<float>& payload,
+                                            std::uint64_t sender,
+                                            std::size_t round) const {
+  return wire_round_trip(kind, payload.data(), payload.size(), sender, round,
+                         nullptr);
+}
+
+std::vector<float> Federation::pull_model(const std::vector<float>& payload,
+                                          std::size_t round,
+                                          std::uint64_t counted_floats) {
+  std::uint64_t encoded = 0;
+  std::vector<float> rx =
+      wire_round_trip(wire::MessageKind::kModelPull, payload.data(),
+                      payload.size(), wire::kServerSender, round, &encoded);
+  comm_.download_envelope(payload.size(), encoded);
+  if (counted_floats > payload.size()) {
+    const std::uint64_t extra = counted_floats - payload.size();
+    comm_.download_envelope(extra, wire::encoded_size(cfg_.codec, extra));
+  }
+  return rx;
+}
+
+std::vector<float> Federation::upload_payload(wire::MessageKind kind,
+                                              const float* data, std::size_t n,
+                                              std::size_t client,
+                                              std::size_t round) {
+  std::uint64_t encoded = 0;
+  std::vector<float> rx = wire_round_trip(kind, data, n, client, round,
+                                          &encoded);
+  comm_.upload_envelope(n, encoded);
+  return rx;
+}
+
+std::vector<float> Federation::upload_payload(wire::MessageKind kind,
+                                              const std::vector<float>& payload,
+                                              std::size_t client,
+                                              std::size_t round) {
+  return upload_payload(kind, payload.data(), payload.size(), client, round);
+}
+
+void Federation::bill_download(std::uint64_t n_floats,
+                               std::uint64_t messages) {
+  comm_.download_envelope(n_floats, wire::encoded_size(cfg_.codec, n_floats),
+                          messages);
+}
+
+void Federation::bill_upload(std::uint64_t n_floats, std::uint64_t messages) {
+  comm_.upload_envelope(n_floats, wire::encoded_size(cfg_.codec, n_floats),
+                        messages);
+}
+
 bool Federation::deliver_update(std::size_t client, std::size_t round,
                                 std::vector<float>& params,
                                 std::uint64_t upload_floats) {
   OBS_SPAN_ARG("fault.deliver", client);
+  const wire::CodecId codec = cfg_.codec;
   const char* reject = nullptr;
   if (!faults_.active()) {
-    // Fault-free fast path: one upload, then the always-on server-side
-    // screen (read-only for finite updates, so bit-identical to the
-    // pre-fault-engine behavior).
-    if (upload_floats > 0) comm_.upload_floats(upload_floats);
+    // Fault-free fast path: serialize through the wire once (raw_f32
+    // round-trips bit-exactly, so results match the pre-wire behavior bit
+    // for bit), bill the encoded bytes, then the always-on server screen.
+    if (upload_floats > 0) {
+      comm_.upload_envelope(upload_floats,
+                            wire::encoded_size(codec, upload_floats));
+    }
+    params = wire_round_trip(wire::MessageKind::kUpdatePush, params.data(),
+                             params.size(), client, round, nullptr);
     reject = validator_.check(params);
     if (reject == nullptr) return true;
     OBS_COUNTER_ADD("fault.rejected_updates", 1);
@@ -179,12 +300,14 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
   if (d.straggler) OBS_COUNTER_ADD("fault.injected.straggler", 1);
 
   // Bounded retry-with-backoff: every attempt (including failed ones) puts
-  // bytes on the wire.
+  // an encoded envelope on the wire.
   const bool comm_ok = d.transient_failures <= plan.max_retries;
   const std::size_t transmissions =
       comm_ok ? d.transient_failures + 1 : plan.max_retries + 1;
   if (upload_floats > 0) {
-    comm_.upload_floats(upload_floats * transmissions);
+    comm_.upload_envelope(upload_floats,
+                          wire::encoded_size(codec, upload_floats),
+                          transmissions);
   }
   if (transmissions > 1) {
     OBS_COUNTER_ADD("fault.injected.comm_transient", d.transient_failures);
@@ -208,10 +331,46 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
     return false;
   }
 
-  if (d.corrupt != CorruptionKind::kNone) {
+  // Value corruption (NaN/Inf/explode) models a faulty client: it hits the
+  // floats before serialization, so the damaged update travels under a
+  // valid checksum and must be caught by the validator, not the CRC.
+  if (d.corrupt != CorruptionKind::kNone &&
+      d.corrupt != CorruptionKind::kBitFlip) {
     faults_.corrupt_update(params, client, round, d.corrupt);
     OBS_COUNTER_ADD("fault.injected.corrupted_update", 1);
   }
+
+  std::vector<std::uint8_t> bytes;
+  {
+    obs::SpanScope span(encode_span_name(codec), params.size());
+    bytes = wire::encode(wire::MessageKind::kUpdatePush, codec, client, round,
+                         params.data(), params.size());
+  }
+
+  // Bit-flip corruption models a transport fault: it flips real wire bytes
+  // after the checksum was computed.
+  if (d.corrupt == CorruptionKind::kBitFlip) {
+    faults_.corrupt_wire(bytes, client, round);
+    OBS_COUNTER_ADD("fault.injected.corrupted_update", 1);
+  }
+
+  wire::Envelope env;
+  wire::DecodeStatus status;
+  {
+    obs::SpanScope span(decode_span_name(codec), params.size());
+    status = wire::try_decode(bytes.data(), bytes.size(), env);
+  }
+  if (status != wire::DecodeStatus::kOk) {
+    // CRC verification is the first stage of quarantine: a damaged envelope
+    // is rejected before any payload byte reaches a codec or a reduction.
+    OBS_COUNTER_ADD("fault.checksum_rejects", 1);
+    OBS_COUNTER_ADD("fault.lost_updates", 1);
+    FC_LOG_DEBUG << "client " << client << " round " << round
+                 << ": envelope rejected (" << wire::decode_status_name(status)
+                 << ")";
+    return false;
+  }
+  params = std::move(env.payload);
 
   // Quarantine before the update can touch any FP reduction.
   reject = validator_.check(params);

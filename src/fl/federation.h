@@ -16,6 +16,7 @@
 #include "fl/client.h"
 #include "fl/comm.h"
 #include "fl/fault.h"
+#include "fl/wire.h"
 #include "nn/model_zoo.h"
 
 namespace fedclust::fl {
@@ -87,6 +88,11 @@ struct ExperimentConfig {
   double dropout_prob = 0.0;
   // Fault-injection schedule + server resilience policy (see fl/fault.h).
   FaultPlan fault;
+  // Payload codec every transfer is serialized with (see fl/codec.h). The
+  // raw_f32 default round-trips byte-exactly, so all determinism and comm
+  // totals match the pre-wire-layer behavior bit for bit; f16/qint8 are
+  // opt-in lossy compressors.
+  wire::CodecId codec = wire::CodecId::kRawF32;
   std::uint64_t seed = 1;
 };
 
@@ -156,6 +162,49 @@ class Federation {
                       std::vector<float>& params,
                       std::uint64_t upload_floats);
 
+  // ---- wire layer ----------------------------------------------------
+  // Every transfer is serialized into a checksummed wire envelope with the
+  // experiment codec (cfg().codec); see fl/wire.h for framing and
+  // fl/codec.h for payload encodings.
+
+  // Round-trips `payload` through an envelope (encode -> CRC verify ->
+  // decode) and returns what the receiver sees: bit-exact for raw_f32,
+  // quantized for lossy codecs. Pure and thread-safe; bills nothing — pair
+  // with the billed helpers below. Throws if the self-produced envelope
+  // fails to verify (a logic error, not a simulated fault).
+  std::vector<float> through_wire(wire::MessageKind kind, const float* data,
+                                  std::size_t n, std::uint64_t sender,
+                                  std::size_t round) const;
+  std::vector<float> through_wire(wire::MessageKind kind,
+                                  const std::vector<float>& payload,
+                                  std::uint64_t sender,
+                                  std::size_t round) const;
+
+  // Server -> client model pull: round-trips `payload` through the wire and
+  // bills the download. `counted_floats` (>= payload.size()) is the logical
+  // download volume; floats beyond the model payload (e.g. SCAFFOLD's
+  // control variate riding along) are billed as a second envelope.
+  std::vector<float> pull_model(const std::vector<float>& payload,
+                                std::size_t round,
+                                std::uint64_t counted_floats);
+
+  // Client -> server setup payload (warmup partials, FLIS profiles, PACFL
+  // subspace bases): round-trips through the wire and bills the upload.
+  // Setup sweeps stay fault-free (ROADMAP "Robustness"), so this path never
+  // consults the fault engine — faulted uploads go through deliver_update.
+  std::vector<float> upload_payload(wire::MessageKind kind, const float* data,
+                                    std::size_t n, std::size_t client,
+                                    std::size_t round);
+  std::vector<float> upload_payload(wire::MessageKind kind,
+                                    const std::vector<float>& payload,
+                                    std::size_t client, std::size_t round);
+
+  // Count-only billing for transfers whose payload is not materialized per
+  // message (IFCA's K-model browse): `messages` envelopes of `n_floats`
+  // each through the experiment codec.
+  void bill_download(std::uint64_t n_floats, std::uint64_t messages = 1);
+  void bill_upload(std::uint64_t n_floats, std::uint64_t messages = 1);
+
   // Deterministic RNG stream for (client, round) local training. Thread-safe:
   // splitting is a pure function of (seed, client, round), so concurrent
   // workers can derive their streams without synchronization.
@@ -175,6 +224,13 @@ class Federation {
       const std::function<const std::vector<float>&(std::size_t)>& params_of);
 
  private:
+  // Shared implementation of the through_wire/pull_model/upload_payload
+  // helpers; reports the actual encoded payload byte count for billing.
+  std::vector<float> wire_round_trip(wire::MessageKind kind, const float* data,
+                                     std::size_t n, std::uint64_t sender,
+                                     std::size_t round,
+                                     std::uint64_t* encoded_bytes) const;
+
   ExperimentConfig cfg_;
   FaultEngine faults_;
   UpdateValidator validator_;

@@ -37,19 +37,24 @@ void Flis::setup() {
   // proxy set; the warmups run client-parallel like every other all-client
   // sweep.
   const std::size_t p = fed_.model_size();
+  // θ0 is serialized once; every client warms up from the wire-decoded
+  // copy, and each profile travels back through a checksummed envelope.
+  const std::vector<float> rx_init = fed_.through_wire(
+      wire::MessageKind::kModelPull, fed_.init_params(), wire::kServerSender,
+      0xF1150000);
   std::vector<std::vector<float>> profiles(n);
   OBS_SPAN("flis.warmup");
   ParallelRoundRunner runner(fed_);
   runner.for_each_index(n, [&](std::size_t c, nn::Model& ws) {
     OBS_SPAN_ARG("client.warmup", c);
-    fed_.comm().download_floats(p);
-    ws.set_flat_params(fed_.init_params());
+    fed_.bill_download(p);
+    ws.set_flat_params(rx_init);
     fed_.client(c).train(ws, fed_.cfg().local,
                          fed_.train_rng(c, 0xF1150000));
     auto logits = ws.forward(proxy_images);
     tensor::softmax_rows_(logits);
-    profiles[c] = logits.vec();
-    fed_.comm().upload_floats(profiles[c].size());
+    profiles[c] = fed_.upload_payload(wire::MessageKind::kWarmupWeights,
+                                      logits.vec(), c, 0xF1150000);
   });
 
   const auto dist = clustering::cosine_distance_matrix(profiles);

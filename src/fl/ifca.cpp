@@ -20,12 +20,13 @@ void Ifca::setup() {
   }
 }
 
-std::size_t Ifca::select_cluster_with(nn::Model& ws,
-                                      const SimClient& client) {
+std::size_t Ifca::select_cluster_from(
+    const std::vector<std::vector<float>>& models, nn::Model& ws,
+    const SimClient& client) {
   float best = std::numeric_limits<float>::infinity();
   std::size_t best_k = 0;
-  for (std::size_t k = 0; k < models_.size(); ++k) {
-    ws.set_flat_params(models_[k]);
+  for (std::size_t k = 0; k < models.size(); ++k) {
+    ws.set_flat_params(models[k]);
     const float loss = client.train_loss(ws);
     if (loss < best) {
       best = loss;
@@ -33,6 +34,11 @@ std::size_t Ifca::select_cluster_with(nn::Model& ws,
     }
   }
   return best_k;
+}
+
+std::size_t Ifca::select_cluster_with(nn::Model& ws,
+                                      const SimClient& client) {
+  return select_cluster_from(models_, ws, client);
 }
 
 std::size_t Ifca::select_cluster_for(const SimClient& client) {
@@ -47,6 +53,16 @@ void Ifca::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
   const std::size_t p = fed_.model_size();
 
+  // The K cluster models are serialized once per round; every client
+  // selects from (and trains on) the wire-decoded copies — bit-exact for
+  // raw_f32, quantized for lossy codecs.
+  std::vector<std::vector<float>> rx_models;
+  rx_models.reserve(models_.size());
+  for (const auto& m : models_) {
+    rx_models.push_back(fed_.through_wire(wire::MessageKind::kModelPull, m,
+                                          wire::kServerSender, r));
+  }
+
   // Selection + training per client; the chosen cluster ids come back in
   // client-index order so per-cluster grouping matches the sequential run.
   std::vector<std::size_t> chosen(sampled.size());
@@ -57,9 +73,9 @@ void Ifca::round(std::size_t r) {
   runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
                                       nn::Model& ws) {
     // The client needs every cluster model to choose: K model downloads.
-    fed_.comm().download_floats(p * models_.size());
-    const std::size_t k = select_cluster_with(ws, fed_.client(c));
-    ws.set_flat_params(models_[k]);
+    fed_.bill_download(p, models_.size());
+    const std::size_t k = select_cluster_from(rx_models, ws, fed_.client(c));
+    ws.set_flat_params(rx_models[k]);
     fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
     chosen[idx] = k;
     locals[idx] = ws.flat_params();

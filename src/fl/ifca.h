@@ -32,6 +32,11 @@ class Ifca : public FlAlgorithm {
   // argmin_k train_loss(model_k) evaluated through an explicit workspace —
   // the form worker threads use with their leased replicas.
   std::size_t select_cluster_with(nn::Model& ws, const SimClient& client);
+  // Same, over an explicit model set (the wire-decoded copies clients
+  // actually receive during a round).
+  std::size_t select_cluster_from(
+      const std::vector<std::vector<float>>& models, nn::Model& ws,
+      const SimClient& client);
   // argmin_k train_loss(model_k) for client c of the federation.
   std::size_t select_cluster(std::size_t c);
 

@@ -38,6 +38,11 @@ void LgFedAvg::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
   const std::size_t g = fed_.model_size() - global_offset_;
 
+  // Serialize the shared suffix once per round; clients splice in the
+  // wire-decoded copy they download.
+  const std::vector<float> rx_suffix = fed_.through_wire(
+      wire::MessageKind::kModelPull, global_suffix_, wire::kServerSender, r);
+
   std::vector<std::vector<float>> suffixes(sampled.size());
   std::vector<double> weights(sampled.size());
   std::vector<char> delivered(sampled.size(), 1);
@@ -46,8 +51,8 @@ void LgFedAvg::round(std::size_t r) {
   ParallelRoundRunner runner(fed_);
   runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
                                       nn::Model& ws) {
-    fed_.comm().download_floats(g);  // only the global layers move
-    std::copy(global_suffix_.begin(), global_suffix_.end(),
+    fed_.bill_download(g);  // only the global layers move
+    std::copy(rx_suffix.begin(), rx_suffix.end(),
               params_[c].begin() +
                   static_cast<std::ptrdiff_t>(global_offset_));
     ws.set_flat_params(params_[c]);

@@ -58,7 +58,12 @@ void Pacfl::setup() {
       bases_[c] = subspace_of(fed_.client(c).train_data());
     });
   }
-  for (const auto& basis : bases_) fed_.comm().upload_floats(basis.size());
+  // Each basis travels as a subspace envelope; the server clusters on the
+  // wire-decoded copies (bit-exact for raw_f32).
+  for (std::size_t c = 0; c < n; ++c) {
+    bases_[c].vec() = fed_.upload_payload(wire::MessageKind::kSubspace,
+                                          bases_[c].vec(), c, 0);
+  }
 
   OBS_SPAN("pacfl.cluster");
   const auto dist = clustering::distance_matrix(
@@ -92,8 +97,9 @@ std::size_t Pacfl::assign_newcomer(const SimClient& newcomer) {
   if (bases_.empty()) {
     throw std::logic_error("Pacfl::assign_newcomer before setup");
   }
-  const tensor::Tensor basis = subspace_of(newcomer.train_data());
-  fed_.comm().upload_floats(basis.size());
+  tensor::Tensor basis = subspace_of(newcomer.train_data());
+  basis.vec() = fed_.upload_payload(wire::MessageKind::kSubspace, basis.vec(),
+                                    bases_.size(), 0);
   float best = std::numeric_limits<float>::infinity();
   std::size_t best_client = 0;
   for (std::size_t c = 0; c < bases_.size(); ++c) {

@@ -39,9 +39,15 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
     OBS_SPAN_ARG("client.train", c);
     const RoundTrainJob job = job_of(idx, c);
     if (job.download_floats > 0) {
-      fed_.comm().download_floats(job.download_floats);
+      // The model pull travels the wire: the client trains from what the
+      // codec round-trips (bit-exact for raw_f32), and the tracker bills
+      // the encoded bytes. download_floats beyond the model itself (e.g.
+      // SCAFFOLD's control variate) are billed as a second envelope.
+      ws.set_flat_params(
+          fed_.pull_model(*job.start, job.round, job.download_floats));
+    } else {
+      ws.set_flat_params(*job.start);
     }
-    ws.set_flat_params(*job.start);
     const float loss = fed_.client(c).train(
         ws, job.opts, job.rng, job.prox_ref,
         job.grad_offset ? &*job.grad_offset : nullptr);

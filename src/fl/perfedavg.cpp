@@ -72,14 +72,19 @@ void PerFedAvg::round(std::size_t r) {
   const auto sampled = fed_.sample_round(r);
   const std::size_t p = fed_.model_size();
 
+  // Serialize the meta-model once per round; clients adapt the
+  // wire-decoded copy they download.
+  const std::vector<float> rx_meta = fed_.through_wire(
+      wire::MessageKind::kModelPull, meta_, wire::kServerSender, r);
+
   std::vector<std::vector<float>> updates(sampled.size());
   std::vector<double> weights(sampled.size());
   std::vector<char> delivered(sampled.size(), 1);
   ParallelRoundRunner runner(fed_);
   runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
                                       nn::Model& ws) {
-    fed_.comm().download_floats(p);
-    updates[idx] = maml_train(ws, c, r, meta_);
+    fed_.bill_download(p);
+    updates[idx] = maml_train(ws, c, r, rx_meta);
     weights[idx] = static_cast<double>(fed_.client(c).n_train());
     delivered[idx] = fed_.deliver_update(c, r, updates[idx], p) ? 1 : 0;
   });

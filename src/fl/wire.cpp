@@ -1,0 +1,110 @@
+#include "fl/wire.h"
+
+#include <stdexcept>
+
+#include "util/serialization.h"
+
+namespace fedclust::fl::wire {
+
+const char* message_kind_name(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kModelPull: return "model_pull";
+    case MessageKind::kUpdatePush: return "update_push";
+    case MessageKind::kClusterAssign: return "cluster_assign";
+    case MessageKind::kWarmupWeights: return "warmup_weights";
+    case MessageKind::kSubspace: return "subspace";
+  }
+  return "unknown";
+}
+
+const char* decode_status_name(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kTruncated: return "truncated";
+    case DecodeStatus::kBadMagic: return "bad_magic";
+    case DecodeStatus::kBadVersion: return "bad_version";
+    case DecodeStatus::kBadKind: return "bad_kind";
+    case DecodeStatus::kBadCodec: return "bad_codec";
+    case DecodeStatus::kLengthMismatch: return "length_mismatch";
+    case DecodeStatus::kBadChecksum: return "bad_checksum";
+    case DecodeStatus::kBadPayload: return "bad_payload";
+  }
+  return "unknown";
+}
+
+std::size_t wire_size(CodecId codec, std::size_t n) {
+  return kHeaderSize + encoded_size(codec, n);
+}
+
+std::vector<std::uint8_t> encode(MessageKind kind, CodecId codec,
+                                 std::uint64_t sender, std::uint64_t round,
+                                 const float* payload, std::size_t n) {
+  std::vector<std::uint8_t> encoded = encode_payload(codec, payload, n);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + encoded.size());
+  util::put_u32_le(out, kMagic);
+  util::put_u16_le(out, kVersion);
+  out.push_back(static_cast<std::uint8_t>(kind));
+  out.push_back(static_cast<std::uint8_t>(codec));
+  util::put_u64_le(out, sender);
+  util::put_u64_le(out, round);
+  util::put_u64_le(out, n);
+  util::put_u64_le(out, encoded.size());
+
+  // CRC over the 40 header bytes written so far, then the payload.
+  std::uint32_t crc = util::crc32c_extend(0, out.data(), out.size());
+  crc = util::crc32c_extend(crc, encoded.data(), encoded.size());
+  util::put_u32_le(out, crc);
+
+  out.insert(out.end(), encoded.begin(), encoded.end());
+  return out;
+}
+
+DecodeStatus try_decode(const std::uint8_t* data, std::size_t len,
+                        Envelope& out) {
+  if (len < kHeaderSize) return DecodeStatus::kTruncated;
+  if (util::get_u32_le(data) != kMagic) return DecodeStatus::kBadMagic;
+  if (util::get_u16_le(data + 4) != kVersion) return DecodeStatus::kBadVersion;
+  const std::uint8_t kind = data[6];
+  if (kind >= kNumMessageKinds) return DecodeStatus::kBadKind;
+  const std::uint8_t codec = data[7];
+  if (!codec_id_valid(codec)) return DecodeStatus::kBadCodec;
+  const std::uint64_t sender = util::get_u64_le(data + 8);
+  const std::uint64_t round = util::get_u64_le(data + 16);
+  const std::uint64_t count = util::get_u64_le(data + 24);
+  const std::uint64_t payload_len = util::get_u64_le(data + 32);
+  if (payload_len != len - kHeaderSize) {
+    return payload_len > len - kHeaderSize ? DecodeStatus::kTruncated
+                                           : DecodeStatus::kLengthMismatch;
+  }
+  // Checksum before any payload parsing: corrupt bytes never reach a codec.
+  std::uint32_t crc = util::crc32c_extend(0, data, 40);
+  crc = util::crc32c_extend(crc, data + kHeaderSize, payload_len);
+  if (crc != util::get_u32_le(data + 40)) return DecodeStatus::kBadChecksum;
+
+  out.kind = static_cast<MessageKind>(kind);
+  out.codec = static_cast<CodecId>(codec);
+  out.sender = sender;
+  out.round = round;
+  try {
+    out.payload = decode_payload(out.codec, data + kHeaderSize,
+                                 static_cast<std::size_t>(payload_len),
+                                 static_cast<std::size_t>(count));
+  } catch (const std::exception&) {
+    return DecodeStatus::kBadPayload;
+  }
+  return DecodeStatus::kOk;
+}
+
+Envelope decode(const std::vector<std::uint8_t>& bytes) {
+  Envelope env;
+  const DecodeStatus status = try_decode(bytes.data(), bytes.size(), env);
+  if (status != DecodeStatus::kOk) {
+    throw std::runtime_error(std::string("wire::decode: ") +
+                             decode_status_name(status));
+  }
+  return env;
+}
+
+}  // namespace fedclust::fl::wire

@@ -1,0 +1,97 @@
+#pragma once
+
+// Versioned binary envelopes for every transfer the simulator performs.
+// Layout (all fields little-endian, 44-byte header):
+//
+//   offset  size  field
+//        0     4  magic        0xFEDC717E
+//        4     2  version      1
+//        6     1  message kind (MessageKind)
+//        7     1  codec id     (CodecId)
+//        8     8  sender       client id, or kServerSender
+//       16     8  round
+//       24     8  element count (floats in the decoded payload)
+//       32     8  payload byte length
+//       40     4  CRC32C over header bytes [0, 40) ++ payload
+//       44     -  payload (see codec.h)
+//
+// The CRC covers the header (with the CRC field excluded) as well as the
+// payload, so a bit flip anywhere in the envelope is detected. Decoding
+// verifies the checksum before the payload is parsed — CRC failure is the
+// first stage of the delivery quarantine path.
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/codec.h"
+
+namespace fedclust::fl::wire {
+
+inline constexpr std::uint32_t kMagic = 0xFEDC717Eu;
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 44;
+
+// Sender id used for server-originated messages (model pulls, cluster
+// assignments).
+inline constexpr std::uint64_t kServerSender = ~std::uint64_t{0};
+
+enum class MessageKind : std::uint8_t {
+  kModelPull = 0,        // server -> client: global / cluster model
+  kUpdatePush = 1,       // client -> server: trained update
+  kClusterAssign = 2,    // server -> client: cluster membership verdict
+  kWarmupWeights = 3,    // client -> server: warmup partials / profiles
+  kSubspace = 4,         // client -> server: PACFL tensor subspace basis
+};
+
+inline constexpr std::size_t kNumMessageKinds = 5;
+
+const char* message_kind_name(MessageKind kind);
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,       // fewer bytes than the header, or payload cut short
+  kBadMagic,
+  kBadVersion,
+  kBadKind,
+  kBadCodec,
+  kLengthMismatch,  // header payload length disagrees with the byte count
+  kBadChecksum,
+  kBadPayload,      // CRC passed but the codec rejected the payload
+};
+
+const char* decode_status_name(DecodeStatus status);
+
+struct Envelope {
+  MessageKind kind = MessageKind::kModelPull;
+  CodecId codec = CodecId::kRawF32;
+  std::uint64_t sender = kServerSender;
+  std::uint64_t round = 0;
+  std::vector<float> payload;
+};
+
+// Total envelope size for `n` floats: header + encoded payload.
+std::size_t wire_size(CodecId codec, std::size_t n);
+
+// Serializes `n` floats into a checksummed envelope.
+std::vector<std::uint8_t> encode(MessageKind kind, CodecId codec,
+                                 std::uint64_t sender, std::uint64_t round,
+                                 const float* payload, std::size_t n);
+
+inline std::vector<std::uint8_t> encode(MessageKind kind, CodecId codec,
+                                        std::uint64_t sender,
+                                        std::uint64_t round,
+                                        const std::vector<float>& payload) {
+  return encode(kind, codec, sender, round, payload.data(), payload.size());
+}
+
+// Parses and verifies an envelope. Returns kOk and fills `out` on success;
+// any other status leaves `out` unspecified. Never throws and never reads
+// out of bounds, whatever the input bytes.
+DecodeStatus try_decode(const std::uint8_t* data, std::size_t len,
+                        Envelope& out);
+
+// Throwing convenience wrapper for call sites where failure is a logic
+// error (in-process round trips); the message names the DecodeStatus.
+Envelope decode(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace fedclust::fl::wire

@@ -9,7 +9,12 @@ namespace fedclust::nn {
 
 namespace {
 constexpr std::uint32_t kMagic = 0xFEDC1057;
-constexpr std::uint32_t kVersion = 1;
+// v2 (wire-layer PR): every field goes through the explicit little-endian
+// primitives shared with fl::wire, and the parameter payload is stored as a
+// CRC32C-checksummed LE f32 run — the same integrity framing wire envelopes
+// use, so model files and wire payloads share one format. On little-endian
+// hosts the non-checksum fields are byte-identical to v1.
+constexpr std::uint32_t kVersion = 2;
 }  // namespace
 
 void save_model(const Model& model, std::ostream& os) {
@@ -22,7 +27,13 @@ void save_model(const Model& model, std::ostream& os) {
     w.write_string(p.name);
     w.write_u64(p.size);
   }
-  w.write_f32_vec(model.flat_params());
+  const auto& flat = model.flat_params();
+  std::vector<std::uint8_t> payload;
+  payload.reserve(flat.size() * sizeof(float));
+  for (const float v : flat) util::put_f32_le(payload, v);
+  w.write_u64(flat.size());
+  w.write_u32(util::crc32c(payload.data(), payload.size()));
+  w.write_bytes(payload.data(), payload.size());
 }
 
 void load_model(Model& model, std::istream& is) {
@@ -31,7 +42,9 @@ void load_model(Model& model, std::istream& is) {
     throw std::runtime_error("load_model: not a fedclust checkpoint");
   }
   if (r.read_u32() != kVersion) {
-    throw std::runtime_error("load_model: unsupported checkpoint version");
+    throw std::runtime_error(
+        "load_model: unsupported checkpoint version (expected v2; re-save "
+        "with this build)");
   }
   const auto& layout = model.param_layout();
   const std::uint64_t n = r.read_u64();
@@ -46,9 +59,21 @@ void load_model(Model& model, std::istream& is) {
                                " (checkpoint has " + name + ")");
     }
   }
-  const auto flat = r.read_f32_vec();
-  if (flat.size() != model.num_params()) {
+  const std::uint64_t count = r.read_u64();
+  if (count != model.num_params()) {
     throw std::runtime_error("load_model: flat parameter size mismatch");
+  }
+  const std::uint32_t want_crc = r.read_u32();
+  const std::vector<std::uint8_t> payload =
+      r.read_bytes(count * sizeof(float));
+  if (util::crc32c(payload.data(), payload.size()) != want_crc) {
+    // Corruption is caught before a single value reaches the model — the
+    // same CRC-before-decode rule the wire layer enforces.
+    throw std::runtime_error("load_model: checksum mismatch (corrupt file)");
+  }
+  std::vector<float> flat(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    flat[i] = util::get_f32_le(payload.data() + i * sizeof(float));
   }
   model.set_flat_params(flat);
 }

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace fedclust::obs {
 
@@ -102,6 +103,17 @@ void SpanTracer::set_thread_label(const std::string& label) {
   ThreadBuffer& buf = local_buffer();
   const std::lock_guard<std::mutex> lock(registry().mu);
   buf.label = label;
+}
+
+const char* SpanTracer::intern(const std::string& name) {
+  // Node-based set: element addresses are stable across inserts, and the
+  // set leaks with the leaky singleton so interned pointers outlive every
+  // recorded event.
+  static std::mutex* mu = new std::mutex;
+  static std::unordered_set<std::string>* names =
+      new std::unordered_set<std::string>;
+  const std::lock_guard<std::mutex> lock(*mu);
+  return names->insert(name).first->c_str();
 }
 
 std::vector<SpanTracer::ThreadEvents> SpanTracer::collect() const {

@@ -64,6 +64,14 @@ class SpanTracer {
   // threads that never call it appear as "thread-<tid>".
   void set_thread_label(const std::string& label);
 
+  // Interns a dynamically built span name (e.g. "wire.encode/qint8") and
+  // returns a stable C string that outlives the tracer, so it can be passed
+  // anywhere a literal is accepted. Idempotent: equal strings return the
+  // same pointer. Takes a mutex — intern once per site (cache the result in
+  // a static), never per event; the literal fast path needs no interning
+  // and stays allocation-free.
+  const char* intern(const std::string& name);
+
   struct ThreadEvents {
     std::uint32_t tid = 0;
     std::string label;

@@ -1,24 +1,81 @@
 #include "util/serialization.h"
 
+#include <array>
 #include <fstream>
 #include <stdexcept>
 
 namespace fedclust::util {
 
+// ------------------------------------------------------------------ crc32c
+
+namespace {
+
+// Table-driven CRC32C (Castagnoli, reflected polynomial 0x82F63B78).
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = make_crc32c_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc, const std::uint8_t* data,
+                            std::size_t n) {
+  const auto& table = crc32c_table();
+  crc = ~crc;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t n) {
+  return crc32c_extend(0, data, n);
+}
+
+// ------------------------------------------------------------------ writer
+
+namespace {
+
+// Stages a scalar through the LE byte primitives so stream output is
+// byte-order independent.
+template <typename PutFn>
+void write_le(std::ostream& os, PutFn put) {
+  std::vector<std::uint8_t> buf;
+  put(buf);
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size()));
+}
+
+}  // namespace
+
 void BinaryWriter::write_u32(std::uint32_t v) {
-  os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  write_le(os_, [v](std::vector<std::uint8_t>& b) { put_u32_le(b, v); });
 }
 void BinaryWriter::write_u64(std::uint64_t v) {
-  os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  write_le(os_, [v](std::vector<std::uint8_t>& b) { put_u64_le(b, v); });
 }
 void BinaryWriter::write_i64(std::int64_t v) {
-  os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  write_u64(static_cast<std::uint64_t>(v));
 }
 void BinaryWriter::write_f32(float v) {
-  os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  write_le(os_, [v](std::vector<std::uint8_t>& b) { put_f32_le(b, v); });
 }
 void BinaryWriter::write_f64(double v) {
-  os_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(bits);
 }
 void BinaryWriter::write_string(const std::string& s) {
   write_u64(s.size());
@@ -26,14 +83,21 @@ void BinaryWriter::write_string(const std::string& s) {
 }
 void BinaryWriter::write_f32_vec(const std::vector<float>& v) {
   write_u64(v.size());
-  os_.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(float)));
+  std::vector<std::uint8_t> buf;
+  buf.reserve(v.size() * sizeof(float));
+  for (const float x : v) put_f32_le(buf, x);
+  write_bytes(buf.data(), buf.size());
 }
 void BinaryWriter::write_f64_vec(const std::vector<double>& v) {
   write_u64(v.size());
-  os_.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(double)));
+  for (const double x : v) write_f64(x);
 }
+void BinaryWriter::write_bytes(const std::uint8_t* data, std::size_t n) {
+  os_.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n));
+}
+
+// ------------------------------------------------------------------ reader
 
 void BinaryReader::read_raw(void* dst, std::size_t n) {
   is_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
@@ -43,28 +107,27 @@ void BinaryReader::read_raw(void* dst, std::size_t n) {
 }
 
 std::uint32_t BinaryReader::read_u32() {
-  std::uint32_t v;
-  read_raw(&v, sizeof(v));
-  return v;
+  std::uint8_t b[4];
+  read_raw(b, sizeof(b));
+  return get_u32_le(b);
 }
 std::uint64_t BinaryReader::read_u64() {
-  std::uint64_t v;
-  read_raw(&v, sizeof(v));
-  return v;
+  std::uint8_t b[8];
+  read_raw(b, sizeof(b));
+  return get_u64_le(b);
 }
 std::int64_t BinaryReader::read_i64() {
-  std::int64_t v;
-  read_raw(&v, sizeof(v));
-  return v;
+  return static_cast<std::int64_t>(read_u64());
 }
 float BinaryReader::read_f32() {
-  float v;
-  read_raw(&v, sizeof(v));
-  return v;
+  std::uint8_t b[4];
+  read_raw(b, sizeof(b));
+  return get_f32_le(b);
 }
 double BinaryReader::read_f64() {
+  const std::uint64_t bits = read_u64();
   double v;
-  read_raw(&v, sizeof(v));
+  std::memcpy(&v, &bits, sizeof(v));
   return v;
 }
 std::string BinaryReader::read_string() {
@@ -75,16 +138,26 @@ std::string BinaryReader::read_string() {
 }
 std::vector<float> BinaryReader::read_f32_vec() {
   const std::uint64_t n = read_u64();
+  const std::vector<std::uint8_t> buf = read_bytes(n * sizeof(float));
   std::vector<float> v(n);
-  if (n > 0) read_raw(v.data(), n * sizeof(float));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    v[i] = get_f32_le(buf.data() + i * sizeof(float));
+  }
   return v;
 }
 std::vector<double> BinaryReader::read_f64_vec() {
   const std::uint64_t n = read_u64();
   std::vector<double> v(n);
-  if (n > 0) read_raw(v.data(), n * sizeof(double));
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = read_f64();
   return v;
 }
+std::vector<std::uint8_t> BinaryReader::read_bytes(std::size_t n) {
+  std::vector<std::uint8_t> buf(n);
+  if (n > 0) read_raw(buf.data(), n);
+  return buf;
+}
+
+// ------------------------------------------------------------------ csv
 
 namespace {
 

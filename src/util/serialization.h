@@ -1,16 +1,89 @@
 #pragma once
 
-// Binary (de)serialization for checkpoints and experiment traces, plus a
-// small CSV writer. Format is little-endian, host-order (the simulator only
-// ever reads its own output on the same machine).
+// Binary (de)serialization for checkpoints, wire envelopes, and experiment
+// traces, plus a small CSV writer. All multi-byte fields are explicitly
+// little-endian regardless of host byte order, so checkpoint files and wire
+// payloads are portable across machines; `crc32c` provides the Castagnoli
+// checksum used by both the wire layer and model checkpoints.
 
 #include <cstdint>
+#include <cstring>
 #include <ostream>
 #include <istream>
 #include <string>
 #include <vector>
 
 namespace fedclust::util {
+
+// ------------------------------------------------------------------
+// Little-endian byte-buffer primitives.
+//
+// `put_*` append to a byte vector; `get_*` read from a raw pointer the
+// caller has already bounds-checked. These are the shared encoding
+// primitives for fl::wire envelopes and nn::checkpoint files.
+
+inline void put_u16_le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+inline void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_f32_le(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32_le(out, bits);
+}
+
+inline std::uint16_t get_u16_le(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+inline std::uint32_t get_u32_le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+inline std::uint64_t get_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+inline float get_f32_le(const std::uint8_t* p) {
+  const std::uint32_t bits = get_u32_le(p);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// ------------------------------------------------------------------
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected). Known answer:
+// crc32c over the ASCII bytes of "123456789" is 0xE3069283.
+
+// One-shot checksum over a byte range.
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t n);
+
+// Incremental form: seed with 0, feed ranges in order, identical to the
+// one-shot checksum over the concatenation.
+std::uint32_t crc32c_extend(std::uint32_t crc, const std::uint8_t* data,
+                            std::size_t n);
+
+// ------------------------------------------------------------------
+// Stream writers. Every field goes through the little-endian primitives
+// above; on little-endian hosts the byte stream is identical to the old
+// host-order format, on big-endian hosts it is now portable.
 
 class BinaryWriter {
  public:
@@ -24,6 +97,7 @@ class BinaryWriter {
   void write_string(const std::string& s);
   void write_f32_vec(const std::vector<float>& v);
   void write_f64_vec(const std::vector<double>& v);
+  void write_bytes(const std::uint8_t* data, std::size_t n);
 
  private:
   std::ostream& os_;
@@ -41,6 +115,7 @@ class BinaryReader {
   std::string read_string();
   std::vector<float> read_f32_vec();
   std::vector<double> read_f64_vec();
+  std::vector<std::uint8_t> read_bytes(std::size_t n);
 
  private:
   void read_raw(void* dst, std::size_t n);

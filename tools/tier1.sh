@@ -58,3 +58,31 @@ echo "obs smoke ok"
 grep -q '"fault\.' "$smoke_dir/fault_metrics.jsonl" ||
   { echo "fault smoke: no fault.* counters in metrics" >&2; exit 1; }
 echo "fault smoke ok"
+
+# Wire-codec smoke: a quantized (qint8) run must complete, put strictly
+# fewer bytes on the wire than the raw payload it carries, and surface the
+# comm.* ledgers in a parseable per-round metrics JSONL.
+./build/tools/fedclust_sim --method=FedClust --clients=8 --rounds=2 \
+    --train=6 --test=4 --sample=0.5 --codec=qint8 \
+    --metrics-out="$smoke_dir/codec_metrics.jsonl" > "$smoke_dir/codec.out"
+grep -q 'wire codec qint8' "$smoke_dir/codec.out" ||
+  { echo "codec smoke: no codec summary line" >&2; exit 1; }
+payload=$(grep -oP 'payload \K[0-9]+' "$smoke_dir/codec.out")
+wire=$(grep -oP 'wire \K[0-9]+(?= B)' "$smoke_dir/codec.out")
+[ -n "$payload" ] && [ -n "$wire" ] && [ "$wire" -lt "$payload" ] ||
+  { echo "codec smoke: wire bytes ($wire) not below payload ($payload)" >&2
+    exit 1; }
+grep -q '"comm\.wire_bytes"' "$smoke_dir/codec_metrics.jsonl" ||
+  { echo "codec smoke: no comm.wire_bytes in metrics" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$smoke_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+last = None
+for line in open(f"{d}/codec_metrics.jsonl"):
+    last = json.loads(line)
+assert last["comm.wire_bytes"] < last["comm.payload_bytes"], \
+    "codec smoke: qint8 wire bytes not below payload bytes"
+EOF
+fi
+echo "codec smoke ok"
