@@ -145,4 +145,22 @@ std::size_t FedClust::assign_newcomer(const fl::SimClient& newcomer,
   return static_cast<std::size_t>(verdict.front());
 }
 
+void FedClust::save_state(util::BinaryWriter& w) const {
+  fl::write_tensor(w, report_.proximity);
+  fl::write_index_vec(w, report_.assignment);
+  w.write_u64(report_.n_clusters);
+  w.write_f32(report_.effective_lambda);
+  fl::write_nested_f32(w, cluster_models_);
+  fl::write_nested_f32(w, cluster_partials_);
+}
+
+void FedClust::load_state(util::BinaryReader& r) {
+  report_.proximity = fl::read_tensor(r);
+  report_.assignment = fl::read_index_vec(r);
+  report_.n_clusters = static_cast<std::size_t>(r.read_u64());
+  report_.effective_lambda = r.read_f32();
+  cluster_models_ = fl::read_nested_f32(r);
+  cluster_partials_ = fl::read_nested_f32(r);
+}
+
 }  // namespace fedclust::core

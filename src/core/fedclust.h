@@ -53,6 +53,9 @@ class FedClust : public fl::FlAlgorithm {
   // tracker. Must be called after run() (or at least after setup).
   std::size_t assign_newcomer(const fl::SimClient& newcomer, util::Rng rng);
 
+  void save_state(util::BinaryWriter& w) const override;
+  void load_state(util::BinaryReader& r) override;
+
  protected:
   void setup() override;
   void round(std::size_t r) override;

@@ -1,5 +1,7 @@
 #include "fl/algorithm.h"
 
+#include <sstream>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -7,12 +9,105 @@
 
 namespace fedclust::fl {
 
+namespace {
+
+std::string algo_state_blob(const FlAlgorithm& algo) {
+  std::ostringstream os(std::ios::binary);
+  util::BinaryWriter w(os);
+  algo.save_state(w);
+  return os.str();
+}
+
+}  // namespace
+
+void FlAlgorithm::resume_from(RunSnapshot snap) {
+  const std::uint64_t want = config_fingerprint(fed_.cfg());
+  if (snap.config_fingerprint != want) {
+    std::ostringstream msg;
+    msg << "snapshot config fingerprint mismatch: snapshot 0x" << std::hex
+        << snap.config_fingerprint << ", live config 0x" << want
+        << " — resume requires the exact configuration that wrote the "
+           "snapshot (see its manifest.json)";
+    throw SnapshotError(msg.str());
+  }
+  if (snap.method != name()) {
+    throw SnapshotError("snapshot was written by method '" + snap.method +
+                        "', not '" + name() + "'");
+  }
+  if (snap.seed != fed_.cfg().seed) {
+    throw SnapshotError("snapshot seed mismatch");
+  }
+  if (snap.next_round > fed_.cfg().rounds) {
+    throw SnapshotError("snapshot next_round " +
+                        std::to_string(snap.next_round) +
+                        " exceeds configured rounds " +
+                        std::to_string(fed_.cfg().rounds));
+  }
+  if (snap.rng_probes != rng_probes_for(fed_.cfg())) {
+    throw SnapshotError(
+        "snapshot RNG probe mismatch: the RNG algorithm or stream-split "
+        "layout changed since the snapshot was written, so a resumed run "
+        "could not reproduce the uninterrupted trajectory");
+  }
+  resume_ = std::move(snap);
+}
+
+RunSnapshot FlAlgorithm::capture_snapshot(
+    std::size_t next_round, const std::vector<RoundRecord>& records) {
+  RunSnapshot snap;
+  snap.config_fingerprint = config_fingerprint(fed_.cfg());
+  snap.seed = fed_.cfg().seed;
+  snap.next_round = next_round;
+  snap.method = name();
+  snap.dataset = fed_.cfg().data_spec.name;
+  snap.comm = fed_.comm().ledger();
+  snap.records = records;
+  if (obs::MetricsRegistry::enabled()) {
+    snap.counters = obs::MetricsRegistry::instance().snapshot().counters;
+  }
+  snap.rng_probes = rng_probes_for(fed_.cfg());
+  const std::string blob = algo_state_blob(*this);
+  snap.algo_state.assign(blob.begin(), blob.end());
+  return snap;
+}
+
+std::uint32_t FlAlgorithm::state_crc32c() const {
+  const std::string blob = algo_state_blob(*this);
+  return util::crc32c(reinterpret_cast<const std::uint8_t*>(blob.data()),
+                      blob.size());
+}
+
 Trace FlAlgorithm::run() {
   Trace trace;
   trace.method = name();
   trace.dataset = fed_.cfg().data_spec.name;
 
-  {
+  std::size_t start_round = 0;
+  if (resume_) {
+    // Everything setup() produced (including the comm it billed) lives in
+    // the restored state, so setup() must not run again.
+    fed_.comm().restore(resume_->comm);
+    trace.records = resume_->records;
+    if (obs::MetricsRegistry::enabled()) {
+      auto& registry = obs::MetricsRegistry::instance();
+      for (const auto& [cname, value] : resume_->counters) {
+        auto& c = registry.counter(cname);
+        c.reset();
+        c.add(value);
+      }
+    }
+    {
+      std::istringstream is(
+          std::string(resume_->algo_state.begin(), resume_->algo_state.end()),
+          std::ios::binary);
+      util::BinaryReader rd(is);
+      load_state(rd);
+    }
+    start_round = resume_->next_round;
+    resume_.reset();
+    FC_LOG_INFO << name() << "/" << trace.dataset << " resumed at round "
+                << start_round;
+  } else {
     OBS_SPAN("fl.setup");
     const util::Stopwatch setup_sw;
     setup();
@@ -20,7 +115,7 @@ Trace FlAlgorithm::run() {
   }
   const std::size_t rounds = fed_.cfg().rounds;
   const std::size_t every = std::max<std::size_t>(1, fed_.cfg().eval_every);
-  for (std::size_t r = 0; r < rounds; ++r) {
+  for (std::size_t r = start_round; r < rounds; ++r) {
     const util::Stopwatch round_sw;
     {
       OBS_SPAN_ARG("fl.round", r);
@@ -59,6 +154,26 @@ Trace FlAlgorithm::run() {
              {"eval_seconds", eval_seconds}});
       }
       if (observer_) observer_(rec, train_seconds + eval_seconds);
+    }
+    // Checkpoints land at boundary r+1: after round r's work AND its
+    // evaluation, so the snapshot's trace records already include this
+    // round and the resumed run re-enters at exactly r+1.
+    const std::size_t boundary = r + 1;
+    const bool on_grid =
+        checkpoint_.every > 0 && boundary % checkpoint_.every == 0;
+    const bool at_halt =
+        checkpoint_.halt_after > 0 && boundary == checkpoint_.halt_after;
+    if (!checkpoint_.dir.empty() && (on_grid || at_halt)) {
+      OBS_SPAN_ARG("fl.checkpoint", boundary);
+      write_snapshot(capture_snapshot(boundary, trace.records),
+                     checkpoint_.dir + "/" + snapshot_filename(boundary));
+      OBS_COUNTER_ADD("fl.checkpoints", 1);
+    }
+    if (at_halt) {
+      FC_LOG_INFO << name() << "/" << trace.dataset
+                  << " halting after boundary " << boundary
+                  << " (checkpoint halt_after)";
+      break;
     }
   }
   return trace;

@@ -7,10 +7,14 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "fl/federation.h"
 #include "fl/metrics.h"
+#include "fl/snapshot.h"
+#include "util/serialization.h"
 
 namespace fedclust::fl {
 
@@ -35,8 +39,40 @@ class FlAlgorithm {
   }
 
   // Executes setup() once, then cfg().rounds rounds; evaluates every
-  // cfg().eval_every rounds (and always after the last round).
+  // cfg().eval_every rounds (and always after the last round). When a
+  // snapshot was staged with resume_from(), setup() is skipped (its work —
+  // including the comm it billed — lives inside the restored state) and the
+  // loop starts at the snapshot's next_round with the restored trace
+  // records; the resulting trace, final parameters, and comm totals are
+  // bit-identical to the uninterrupted run's at any thread count
+  // (docs/INVARIANTS.md "Snapshot").
   Trace run();
+
+  // ---- checkpoint / resume -------------------------------------------
+  // Serialize / restore every mutable field the round loop evolves (model
+  // parameters, cluster structures, control variates, server optimizer
+  // moments). Constructor-fixed hyperparameters are NOT state — they are
+  // re-derived from the config on resume. load_state must accept exactly
+  // the bytes save_state wrote; the snapshot layer owns framing and
+  // integrity (CRC runs before any byte reaches load_state).
+  virtual void save_state(util::BinaryWriter& w) const = 0;
+  virtual void load_state(util::BinaryReader& r) = 0;
+
+  void set_checkpoint_policy(CheckpointPolicy policy) {
+    checkpoint_ = std::move(policy);
+  }
+  // Validates `snap` against the live config (fingerprint, method, seed,
+  // RNG probes) and stages it for the next run() call. Throws
+  // SnapshotError naming the mismatch; on success no state is touched
+  // until run().
+  void resume_from(RunSnapshot snap);
+  // Full run state at boundary `next_round` (the first round a resumed run
+  // would execute), with `records` as the trace so far.
+  RunSnapshot capture_snapshot(std::size_t next_round,
+                               const std::vector<RoundRecord>& records);
+  // CRC32C over save_state's byte stream — the digest fedclust_sim prints
+  // so two runs' final states can be compared without shipping the bytes.
+  std::uint32_t state_crc32c() const;
 
  protected:
   // One-shot work before the round loop (e.g. FedClust's clustering round,
@@ -53,6 +89,8 @@ class FlAlgorithm {
 
  private:
   RoundObserver observer_;
+  CheckpointPolicy checkpoint_;
+  std::optional<RunSnapshot> resume_;
 };
 
 }  // namespace fedclust::fl

@@ -166,4 +166,14 @@ double Cfl::evaluate_all() {
   return cluster_average_accuracy(fed_, assignment_, cluster_models_);
 }
 
+void Cfl::save_state(util::BinaryWriter& w) const {
+  write_index_vec(w, assignment_);
+  write_nested_f32(w, cluster_models_);
+}
+
+void Cfl::load_state(util::BinaryReader& r) {
+  assignment_ = read_index_vec(r);
+  cluster_models_ = read_nested_f32(r);
+}
+
 }  // namespace fedclust::fl

@@ -24,6 +24,9 @@ class Cfl : public FlAlgorithm {
 
   const std::vector<std::size_t>& assignment() const { return assignment_; }
 
+  void save_state(util::BinaryWriter& w) const override;
+  void load_state(util::BinaryReader& r) override;
+
  protected:
   void setup() override;
   void round(std::size_t r) override;

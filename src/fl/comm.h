@@ -24,6 +24,18 @@
 
 namespace fedclust::fl {
 
+// Point-in-time copy of every CommTracker ledger — what run snapshots
+// persist so a resumed run's cumulative byte totals continue bit-exactly.
+struct CommLedger {
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t messages = 0;
+
+  bool operator==(const CommLedger&) const = default;
+};
+
 class CommTracker {
  public:
   // Codec used by the deprecated float-count shims below to derive encoded
@@ -38,16 +50,6 @@ class CommTracker {
   // Server -> client.
   void download_envelope(std::uint64_t n_floats, std::uint64_t encoded_bytes,
                          std::uint64_t messages = 1);
-
-  // Deprecated count-based shims for call sites that never materialize an
-  // envelope; they bill one envelope of `n` floats through the configured
-  // codec. Prefer upload_envelope/download_envelope with measured bytes.
-  void upload_floats(std::uint64_t n) {
-    upload_envelope(n, wire::encoded_size(codec_, n));
-  }
-  void download_floats(std::uint64_t n) {
-    download_envelope(n, wire::encoded_size(codec_, n));
-  }
 
   std::uint64_t bytes_up() const {
     return bytes_up_.load(std::memory_order_relaxed);
@@ -83,6 +85,26 @@ class CommTracker {
   }
 
   void reset();
+
+  // Snapshot/restore for checkpointed runs. restore() overwrites every
+  // ledger; call it only while no transfers are in flight (resume happens
+  // before any round work starts).
+  CommLedger ledger() const {
+    CommLedger l;
+    l.bytes_up = bytes_up();
+    l.bytes_down = bytes_down();
+    l.payload_bytes = payload_bytes();
+    l.wire_bytes = wire_bytes();
+    l.messages = messages();
+    return l;
+  }
+  void restore(const CommLedger& l) {
+    bytes_up_.store(l.bytes_up, std::memory_order_relaxed);
+    bytes_down_.store(l.bytes_down, std::memory_order_relaxed);
+    payload_bytes_.store(l.payload_bytes, std::memory_order_relaxed);
+    wire_bytes_.store(l.wire_bytes, std::memory_order_relaxed);
+    messages_.store(l.messages, std::memory_order_relaxed);
+  }
 
  private:
   wire::CodecId codec_ = wire::CodecId::kRawF32;

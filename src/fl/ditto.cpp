@@ -67,4 +67,14 @@ double Ditto::evaluate_all() {
       });
 }
 
+void Ditto::save_state(util::BinaryWriter& w) const {
+  w.write_f32_vec(global_);
+  write_nested_f32(w, personal_);
+}
+
+void Ditto::load_state(util::BinaryReader& r) {
+  global_ = r.read_f32_vec();
+  personal_ = read_nested_f32(r);
+}
+
 }  // namespace fedclust::fl

@@ -23,6 +23,9 @@ class Ditto : public FlAlgorithm {
     return personal_.at(client);
   }
 
+  void save_state(util::BinaryWriter& w) const override;
+  void load_state(util::BinaryReader& r) override;
+
  protected:
   void setup() override;
   void round(std::size_t r) override;

@@ -40,4 +40,10 @@ double FedAvg::evaluate_all() {
       [this](std::size_t) -> const std::vector<float>& { return global_; });
 }
 
+void FedAvg::save_state(util::BinaryWriter& w) const {
+  w.write_f32_vec(global_);
+}
+
+void FedAvg::load_state(util::BinaryReader& r) { global_ = r.read_f32_vec(); }
+
 }  // namespace fedclust::fl

@@ -78,4 +78,16 @@ double FedDyn::evaluate_all() {
       [this](std::size_t) -> const std::vector<float>& { return global_; });
 }
 
+void FedDyn::save_state(util::BinaryWriter& w) const {
+  w.write_f32_vec(global_);
+  write_nested_f32(w, h_client_);
+  w.write_f64_vec(h_server_);
+}
+
+void FedDyn::load_state(util::BinaryReader& r) {
+  global_ = r.read_f32_vec();
+  h_client_ = read_nested_f32(r);
+  h_server_ = r.read_f64_vec();
+}
+
 }  // namespace fedclust::fl

@@ -63,4 +63,12 @@ double FedNova::evaluate_all() {
       [this](std::size_t) -> const std::vector<float>& { return global_; });
 }
 
+void FedNova::save_state(util::BinaryWriter& w) const {
+  w.write_f32_vec(global_);
+}
+
+void FedNova::load_state(util::BinaryReader& r) {
+  global_ = r.read_f32_vec();
+}
+
 }  // namespace fedclust::fl

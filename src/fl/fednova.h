@@ -19,6 +19,9 @@ class FedNova : public FlAlgorithm {
 
   const std::vector<float>& global_params() const { return global_; }
 
+  void save_state(util::BinaryWriter& w) const override;
+  void load_state(util::BinaryReader& r) override;
+
  protected:
   void setup() override;
   void round(std::size_t r) override;

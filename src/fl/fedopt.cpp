@@ -66,4 +66,16 @@ double FedOpt::evaluate_all() {
       [this](std::size_t) -> const std::vector<float>& { return global_; });
 }
 
+void FedOpt::save_state(util::BinaryWriter& w) const {
+  w.write_f32_vec(global_);
+  w.write_f64_vec(m_);
+  w.write_f64_vec(u_);
+}
+
+void FedOpt::load_state(util::BinaryReader& r) {
+  global_ = r.read_f32_vec();
+  m_ = r.read_f64_vec();
+  u_ = r.read_f64_vec();
+}
+
 }  // namespace fedclust::fl

@@ -121,4 +121,12 @@ double Ifca::evaluate_all() {
   return sum / static_cast<double>(fed_.n_clients());
 }
 
+void Ifca::save_state(util::BinaryWriter& w) const {
+  write_nested_f32(w, models_);
+}
+
+void Ifca::load_state(util::BinaryReader& r) {
+  models_ = read_nested_f32(r);
+}
+
 }  // namespace fedclust::fl

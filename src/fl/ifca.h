@@ -22,6 +22,9 @@ class Ifca : public FlAlgorithm {
   // the K models, as in the training rounds.
   std::size_t select_cluster_for(const SimClient& client);
 
+  void save_state(util::BinaryWriter& w) const override;
+  void load_state(util::BinaryReader& r) override;
+
  protected:
   void setup() override;
   void round(std::size_t r) override;

@@ -93,4 +93,16 @@ double LgFedAvg::evaluate_all() {
       });
 }
 
+void LgFedAvg::save_state(util::BinaryWriter& w) const {
+  w.write_u64(global_offset_);
+  w.write_f32_vec(global_suffix_);
+  write_nested_f32(w, params_);
+}
+
+void LgFedAvg::load_state(util::BinaryReader& r) {
+  global_offset_ = static_cast<std::size_t>(r.read_u64());
+  global_suffix_ = r.read_f32_vec();
+  params_ = read_nested_f32(r);
+}
+
 }  // namespace fedclust::fl

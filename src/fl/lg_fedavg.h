@@ -18,6 +18,9 @@ class LgFedAvg : public FlAlgorithm {
   std::size_t global_offset() const { return global_offset_; }
   const std::vector<float>& global_suffix() const { return global_suffix_; }
 
+  void save_state(util::BinaryWriter& w) const override;
+  void load_state(util::BinaryReader& r) override;
+
  protected:
   void setup() override;
   void round(std::size_t r) override;

@@ -33,4 +33,12 @@ double LocalOnly::evaluate_all() {
       });
 }
 
+void LocalOnly::save_state(util::BinaryWriter& w) const {
+  write_nested_f32(w, params_);
+}
+
+void LocalOnly::load_state(util::BinaryReader& r) {
+  params_ = read_nested_f32(r);
+}
+
 }  // namespace fedclust::fl

@@ -13,6 +13,9 @@ class LocalOnly : public FlAlgorithm {
 
   std::string name() const override { return "Local"; }
 
+  void save_state(util::BinaryWriter& w) const override;
+  void load_state(util::BinaryReader& r) override;
+
  protected:
   void setup() override;
   void round(std::size_t r) override;

@@ -112,4 +112,20 @@ std::size_t Pacfl::assign_newcomer(const SimClient& newcomer) {
   return assignment_[best_client];
 }
 
+void Pacfl::save_state(util::BinaryWriter& w) const {
+  write_index_vec(w, assignment_);
+  write_nested_f32(w, cluster_models_);
+  w.write_u64(bases_.size());
+  for (const tensor::Tensor& b : bases_) write_tensor(w, b);
+}
+
+void Pacfl::load_state(util::BinaryReader& r) {
+  assignment_ = read_index_vec(r);
+  cluster_models_ = read_nested_f32(r);
+  const std::uint64_t n = r.read_u64();
+  bases_.clear();
+  bases_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) bases_.push_back(read_tensor(r));
+}
+
 }  // namespace fedclust::fl

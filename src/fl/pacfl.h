@@ -30,6 +30,9 @@ class Pacfl : public FlAlgorithm {
   // principal-angle distance). Must be called after setup ran.
   std::size_t assign_newcomer(const SimClient& newcomer);
 
+  void save_state(util::BinaryWriter& w) const override;
+  void load_state(util::BinaryReader& r) override;
+
  protected:
   void setup() override;
   void round(std::size_t r) override;

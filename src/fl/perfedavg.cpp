@@ -116,4 +116,12 @@ double PerFedAvg::evaluate_all() {
   return sum / static_cast<double>(fed_.n_clients());
 }
 
+void PerFedAvg::save_state(util::BinaryWriter& w) const {
+  w.write_f32_vec(meta_);
+}
+
+void PerFedAvg::load_state(util::BinaryReader& r) {
+  meta_ = r.read_f32_vec();
+}
+
 }  // namespace fedclust::fl

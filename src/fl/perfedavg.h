@@ -18,6 +18,9 @@ class PerFedAvg : public FlAlgorithm {
 
   const std::vector<float>& meta_params() const { return meta_; }
 
+  void save_state(util::BinaryWriter& w) const override;
+  void load_state(util::BinaryReader& r) override;
+
  protected:
   void setup() override;
   void round(std::size_t r) override;

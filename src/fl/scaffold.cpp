@@ -81,4 +81,16 @@ double Scaffold::evaluate_all() {
       [this](std::size_t) -> const std::vector<float>& { return global_; });
 }
 
+void Scaffold::save_state(util::BinaryWriter& w) const {
+  w.write_f32_vec(global_);
+  w.write_f32_vec(c_global_);
+  write_nested_f32(w, c_client_);
+}
+
+void Scaffold::load_state(util::BinaryReader& r) {
+  global_ = r.read_f32_vec();
+  c_global_ = r.read_f32_vec();
+  c_client_ = read_nested_f32(r);
+}
+
 }  // namespace fedclust::fl

@@ -28,6 +28,23 @@ Rng::Rng(std::uint64_t seed) : seed_(seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
+RngState Rng::state() const {
+  RngState st;
+  st.seed = seed_;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_cached_normal = has_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+Rng Rng::from_state(const RngState& st) {
+  Rng rng(st.seed);
+  for (int i = 0; i < 4; ++i) rng.s_[i] = st.s[i];
+  rng.has_cached_normal_ = st.has_cached_normal;
+  rng.cached_normal_ = st.cached_normal;
+  return rng;
+}
+
 Rng Rng::split(std::uint64_t stream) const {
   // Mix seed and stream through splitmix so that nearby (seed, stream)
   // pairs land on unrelated states.

@@ -12,11 +12,29 @@
 
 namespace fedclust::util {
 
+// Complete serializable generator state: the originating seed (splitting
+// derives child streams from it, not from the evolving xoshiro state), the
+// four xoshiro256** words, and the Box–Muller normal cache. Snapshots
+// persist these so a resumed run continues every stream mid-sequence.
+struct RngState {
+  std::uint64_t seed = 0;
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+
+  bool operator==(const RngState&) const = default;
+};
+
 // xoshiro256** with SplitMix64 seeding. Not cryptographic; chosen for speed,
 // solid statistical quality, and cheap deterministic splitting.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed);
+
+  // Point-in-time capture of the full generator state, and the inverse:
+  // a generator that continues exactly where the captured one stood.
+  RngState state() const;
+  static Rng from_state(const RngState& st);
 
   // Derives an independent stream from this generator's seed and a stream
   // id. Splitting is a pure function of (seed, stream): it does not advance

@@ -1,0 +1,372 @@
+// Snapshot layer: golden file-format bytes (endianness stability),
+// truncation/bit-flip rejection before any value reaches a model,
+// save/load round trips for every algorithm's state, and bit-identical
+// resume-at-round-k for FedAvg and FedClust at 1 and 4 worker threads.
+
+#include "fl/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/registry.h"
+#include "fl/federation.h"
+#include "util/thread_pool.h"
+
+namespace fedclust {
+namespace {
+
+fl::ExperimentConfig small_cfg(std::uint64_t seed) {
+  fl::ExperimentConfig cfg;
+  cfg.data_spec = data::dataset_spec("svhn");
+  cfg.data_spec.hw = 8;
+  cfg.fed.n_clients = 10;
+  cfg.fed.train_per_client = 12;
+  cfg.fed.test_per_client = 6;
+  cfg.fed.partition = "dirichlet";
+  cfg.fed.dirichlet_alpha = 0.3;
+  cfg.model.arch = "mlp";
+  cfg.model.in_channels = 3;
+  cfg.model.image_hw = 8;
+  cfg.model.num_classes = 10;
+  cfg.local.epochs = 1;
+  cfg.local.batch_size = 6;
+  cfg.local.lr = 0.05f;
+  cfg.rounds = 3;
+  cfg.sample_fraction = 0.4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string state_bytes(const fl::FlAlgorithm& algo) {
+  std::ostringstream os(std::ios::binary);
+  util::BinaryWriter w(os);
+  algo.save_state(w);
+  return os.str();
+}
+
+// ------------------------------------------------------------- format
+
+fl::RunSnapshot golden_snapshot() {
+  fl::RunSnapshot g;
+  g.config_fingerprint = 0x1122334455667788ULL;
+  g.seed = 42;
+  g.next_round = 3;
+  g.method = "FedAvg";
+  g.dataset = "fmnist";
+  g.comm = {400, 200, 600, 644, 2};
+  fl::RoundRecord rec;
+  rec.round = 2;
+  rec.avg_local_test_acc = 0.5;
+  rec.bytes_up = 400;
+  rec.bytes_down = 200;
+  rec.n_clusters = 1;
+  g.records.push_back(rec);
+  g.counters = {{"fl.rounds", 3}};
+  util::RngState st;
+  st.seed = 42;
+  st.s[0] = 1;
+  st.s[1] = 2;
+  st.s[2] = 3;
+  st.s[3] = 4;
+  g.rng_probes = {{"root", st}};
+  g.algo_state = {0xDE, 0xAD, 0xBE, 0xEF};
+  return g;
+}
+
+// The exact on-disk image of golden_snapshot(), byte for byte. Every
+// multi-byte field is little-endian by contract, so this array must match
+// on any host — if this test fails on a big-endian machine, the format
+// (not the test) is broken. Layout: magic, version, reserved, body length,
+// body CRC32C, then the BinaryWriter body.
+const std::vector<std::uint8_t> kGoldenBytes = {
+    0x42, 0x5A, 0xDC, 0xFE, 0x01, 0x00, 0x00, 0x00, 0x01, 0x01, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x7A, 0x7C, 0x08, 0x46, 0x88, 0x77, 0x66, 0x55,
+    0x44, 0x33, 0x22, 0x11, 0x2A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x06, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x46, 0x65, 0x64, 0x41, 0x76, 0x67, 0x06, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x66, 0x6D, 0x6E, 0x69, 0x73, 0x74,
+    0x90, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xC8, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x58, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x84, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0xE0, 0x3F, 0x90, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0xC8, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x66, 0x6C, 0x2E, 0x72,
+    0x6F, 0x75, 0x6E, 0x64, 0x73, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x72, 0x6F, 0x6F, 0x74, 0x2A, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xDE, 0xAD, 0xBE,
+    0xEF};
+
+TEST(SnapshotFormat, GoldenBytesAreStable) {
+  EXPECT_EQ(fl::serialize_snapshot(golden_snapshot()), kGoldenBytes);
+}
+
+TEST(SnapshotFormat, ParseRoundTripsGolden) {
+  const fl::RunSnapshot g = golden_snapshot();
+  const fl::RunSnapshot p = fl::parse_snapshot(kGoldenBytes);
+  EXPECT_EQ(p.config_fingerprint, g.config_fingerprint);
+  EXPECT_EQ(p.seed, g.seed);
+  EXPECT_EQ(p.next_round, g.next_round);
+  EXPECT_EQ(p.method, g.method);
+  EXPECT_EQ(p.dataset, g.dataset);
+  EXPECT_EQ(p.comm, g.comm);
+  ASSERT_EQ(p.records.size(), 1u);
+  EXPECT_EQ(p.records[0].round, 2u);
+  EXPECT_EQ(p.records[0].avg_local_test_acc, 0.5);
+  EXPECT_EQ(p.records[0].bytes_up, 400u);
+  EXPECT_EQ(p.records[0].bytes_down, 200u);
+  EXPECT_EQ(p.records[0].n_clusters, 1u);
+  EXPECT_EQ(p.counters, g.counters);
+  EXPECT_EQ(p.rng_probes, g.rng_probes);
+  EXPECT_EQ(p.algo_state, g.algo_state);
+}
+
+TEST(SnapshotFormat, EveryTruncationIsRejected) {
+  for (std::size_t len = 0; len < kGoldenBytes.size(); ++len) {
+    const std::vector<std::uint8_t> prefix(kGoldenBytes.begin(),
+                                           kGoldenBytes.begin() + len);
+    EXPECT_THROW(fl::parse_snapshot(prefix), fl::SnapshotError)
+        << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(SnapshotFormat, EveryBitFlipIsRejected) {
+  // Single-bit damage anywhere — header or body — must be detected before
+  // any value can reach a model: magic/version/reserved/length by their
+  // explicit checks, everything else by the body CRC.
+  for (std::size_t i = 0; i < kGoldenBytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> bytes = kGoldenBytes;
+      bytes[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_THROW(fl::parse_snapshot(bytes), fl::SnapshotError)
+          << "flip of byte " << i << " bit " << bit << " parsed";
+    }
+  }
+}
+
+TEST(SnapshotFormat, TrailingBytesAreRejected) {
+  std::vector<std::uint8_t> bytes = kGoldenBytes;
+  bytes.push_back(0x00);
+  EXPECT_THROW(fl::parse_snapshot(bytes), fl::SnapshotError);
+}
+
+TEST(SnapshotFiles, WriteThenLoadRoundTrips) {
+  const std::string path = ::testing::TempDir() + "snap_roundtrip.fcsnap";
+  fl::write_snapshot(golden_snapshot(), path);
+  const fl::RunSnapshot p = fl::load_snapshot(path);
+  EXPECT_EQ(fl::serialize_snapshot(p), kGoldenBytes);
+  // Atomic write: no temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotFiles, MissingAndCorruptFilesThrow) {
+  EXPECT_THROW(fl::load_snapshot(::testing::TempDir() + "no_such.fcsnap"),
+               fl::SnapshotError);
+  const std::string path = ::testing::TempDir() + "snap_corrupt.fcsnap";
+  std::vector<std::uint8_t> bytes = kGoldenBytes;
+  bytes[100] ^= 0x10;  // body damage
+  {
+    std::ofstream os(path, std::ios::binary);
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(fl::load_snapshot(path), fl::SnapshotError);
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotFormat, FilenameIsZeroPadded) {
+  EXPECT_EQ(fl::snapshot_filename(3), "snapshot-000003.fcsnap");
+  EXPECT_EQ(fl::snapshot_filename(123456), "snapshot-123456.fcsnap");
+}
+
+// ------------------------------------------------------- fingerprint
+
+TEST(SnapshotConfig, FingerprintSeparatesConfigs) {
+  const fl::ExperimentConfig base = small_cfg(5);
+  fl::ExperimentConfig other = base;
+  EXPECT_EQ(fl::config_fingerprint(base), fl::config_fingerprint(other));
+  other.seed = 6;
+  EXPECT_NE(fl::config_fingerprint(base), fl::config_fingerprint(other));
+  other = base;
+  other.rounds += 1;
+  EXPECT_NE(fl::config_fingerprint(base), fl::config_fingerprint(other));
+  other = base;
+  other.codec = fl::wire::CodecId::kF16;
+  EXPECT_NE(fl::config_fingerprint(base), fl::config_fingerprint(other));
+  other = base;
+  other.fault = fl::FaultPlan::parse("crash=0.1");
+  EXPECT_NE(fl::config_fingerprint(base), fl::config_fingerprint(other));
+}
+
+TEST(SnapshotConfig, RngProbesArePureInSeed) {
+  const auto a = fl::rng_probes_for(small_cfg(5));
+  EXPECT_EQ(a, fl::rng_probes_for(small_cfg(5)));
+  EXPECT_NE(a, fl::rng_probes_for(small_cfg(6)));
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].name, "root");
+}
+
+TEST(SnapshotManifest, CarriesProvenanceAndFullConfig) {
+  const std::string json = fl::manifest_json(small_cfg(5), "FedClust");
+  for (const char* key :
+       {"\"manifest_version\"", "\"config_fingerprint\"", "\"seed\"",
+        "\"codec\"", "\"fault_spec\"", "\"git_describe\"", "\"build_flags\"",
+        "\"fedclust_threads\"", "\"federation\"", "\"dirichlet_alpha\"",
+        "\"fedclust_lambda\"", "\"sample_fraction\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Strings are escaped: a quote in a method name must not break the JSON.
+  const std::string weird = fl::manifest_json(small_cfg(5), "we\"ird");
+  EXPECT_NE(weird.find("we\\\"ird"), std::string::npos);
+}
+
+// --------------------------------------------------- algorithm state
+
+TEST(AlgorithmState, SaveLoadRoundTripsForEveryMethod) {
+  std::vector<std::string> methods = core::all_methods();
+  for (const std::string& m : core::extra_methods()) methods.push_back(m);
+  fl::ExperimentConfig cfg = small_cfg(5);
+  cfg.rounds = 2;
+  for (const std::string& method : methods) {
+    SCOPED_TRACE(method);
+    fl::Federation fed(cfg);
+    const auto algo = core::make_algorithm(method, fed);
+    algo->run();
+    const std::string saved = state_bytes(*algo);
+    EXPECT_FALSE(saved.empty());
+
+    fl::Federation fresh_fed(cfg);
+    const auto fresh = core::make_algorithm(method, fresh_fed);
+    std::istringstream is(saved, std::ios::binary);
+    util::BinaryReader rd(is);
+    fresh->load_state(rd);
+    // load must consume exactly what save wrote and reproduce it.
+    EXPECT_EQ(is.peek(), std::istringstream::traits_type::eof());
+    EXPECT_EQ(state_bytes(*fresh), saved);
+  }
+}
+
+TEST(AlgorithmState, ResumeRejectsMismatches) {
+  fl::ExperimentConfig cfg = small_cfg(5);
+  cfg.rounds = 2;
+  fl::Federation fed(cfg);
+  const auto algo = core::make_algorithm("FedAvg", fed);
+  algo->run();
+  const fl::RunSnapshot snap = algo->capture_snapshot(2, {});
+
+  // Wrong method.
+  fl::Federation fed_b(cfg);
+  const auto other = core::make_algorithm("FedNova", fed_b);
+  EXPECT_THROW(other->resume_from(snap), fl::SnapshotError);
+
+  // Wrong config (different seed => different fingerprint).
+  fl::Federation fed_c(small_cfg(6));
+  const auto mism = core::make_algorithm("FedAvg", fed_c);
+  EXPECT_THROW(mism->resume_from(snap), fl::SnapshotError);
+
+  // next_round beyond the configured horizon.
+  fl::RunSnapshot beyond = snap;
+  beyond.next_round = cfg.rounds + 1;
+  fl::Federation fed_d(cfg);
+  const auto late = core::make_algorithm("FedAvg", fed_d);
+  EXPECT_THROW(late->resume_from(beyond), fl::SnapshotError);
+
+  // Drifted RNG probe state.
+  fl::RunSnapshot drift = snap;
+  ASSERT_FALSE(drift.rng_probes.empty());
+  drift.rng_probes[0].state.s[0] ^= 1;
+  fl::Federation fed_e(cfg);
+  const auto drifted = core::make_algorithm("FedAvg", fed_e);
+  EXPECT_THROW(drifted->resume_from(drift), fl::SnapshotError);
+}
+
+// ------------------------------------------------- resume bit-identity
+
+void expect_identical(const fl::Trace& a, const fl::Trace& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].round, b.records[i].round);
+    EXPECT_EQ(a.records[i].avg_local_test_acc,
+              b.records[i].avg_local_test_acc)
+        << "record " << i;
+    EXPECT_EQ(a.records[i].bytes_up, b.records[i].bytes_up);
+    EXPECT_EQ(a.records[i].bytes_down, b.records[i].bytes_down);
+    EXPECT_EQ(a.records[i].n_clusters, b.records[i].n_clusters);
+  }
+}
+
+// Restores the previous global pool size around each test, as in
+// parallel_round_test.
+class SnapshotResumeTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override {
+    prev_threads_ = util::global_pool().size() + 1;
+    util::reset_global_pool(GetParam());
+  }
+  void TearDown() override { util::reset_global_pool(prev_threads_); }
+
+  // Uninterrupted run vs halt-at-boundary-2 + resume: trace, final state
+  // bytes, and comm ledgers must match bit for bit.
+  void check_resume(const std::string& method) {
+    fl::ExperimentConfig cfg = small_cfg(11);
+    cfg.rounds = 4;
+
+    fl::Federation fed_full(cfg);
+    const auto full = core::make_algorithm(method, fed_full);
+    const fl::Trace full_trace = full->run();
+
+    const std::string dir = ::testing::TempDir() + "snap_resume_" + method +
+                            "_t" + std::to_string(GetParam());
+    std::filesystem::create_directories(dir);
+    fl::Federation fed_halt(cfg);
+    const auto halted = core::make_algorithm(method, fed_halt);
+    fl::CheckpointPolicy policy;
+    policy.dir = dir;
+    policy.halt_after = 2;
+    halted->set_checkpoint_policy(policy);
+    const fl::Trace partial = halted->run();
+    EXPECT_LT(partial.records.size(), full_trace.records.size());
+
+    fl::Federation fed_res(cfg);
+    const auto resumed = core::make_algorithm(method, fed_res);
+    resumed->resume_from(
+        fl::load_snapshot(dir + "/" + fl::snapshot_filename(2)));
+    const fl::Trace resumed_trace = resumed->run();
+
+    expect_identical(full_trace, resumed_trace);
+    EXPECT_EQ(state_bytes(*resumed), state_bytes(*full));
+    EXPECT_EQ(fed_res.comm().ledger(), fed_full.comm().ledger());
+    std::filesystem::remove_all(dir);
+  }
+
+ private:
+  std::size_t prev_threads_ = 1;
+};
+
+TEST_P(SnapshotResumeTest, FedAvgResumeAtRoundKIsBitIdentical) {
+  check_resume("FedAvg");
+}
+
+TEST_P(SnapshotResumeTest, FedClustResumeAtRoundKIsBitIdentical) {
+  check_resume("FedClust");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SnapshotResumeTest,
+                         ::testing::Values(1, 4),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace fedclust

@@ -424,19 +424,35 @@ TEST(CommTracker, BillsEnvelopes) {
             0u);
 }
 
-TEST(CommTracker, DeprecatedShimsMatchRawEnvelopes) {
+TEST(CommTracker, CountOnlyBillingMatchesRawEnvelopes) {
+  // The count-only billing path (Federation::bill_upload/bill_download for
+  // payload-free transfers such as IFCA's K-model browse) derives encoded
+  // bytes from the configured codec; for raw_f32 that is the pre-wire n*4.
   fl::CommTracker comm;
-  comm.upload_floats(100);
-  comm.download_floats(25);
-  EXPECT_EQ(comm.bytes_up(), 400u);    // the pre-wire n*4 contract
+  comm.upload_envelope(100, fl::wire::encoded_size(comm.codec(), 100));
+  comm.download_envelope(25, fl::wire::encoded_size(comm.codec(), 25));
+  EXPECT_EQ(comm.bytes_up(), 400u);
   EXPECT_EQ(comm.bytes_down(), 100u);
   EXPECT_EQ(comm.messages(), 2u);
+}
+
+TEST(CommTracker, LedgerRoundTripsThroughRestore) {
+  fl::CommTracker comm;
+  comm.upload_envelope(100, 400, 2);
+  comm.download_envelope(25, 100);
+  const fl::CommLedger saved = comm.ledger();
+  fl::CommTracker fresh;
+  fresh.restore(saved);
+  EXPECT_EQ(fresh.ledger(), saved);
+  EXPECT_EQ(fresh.bytes_up(), comm.bytes_up());
+  EXPECT_EQ(fresh.wire_bytes(), comm.wire_bytes());
+  EXPECT_EQ(fresh.messages(), comm.messages());
 }
 
 TEST(CommTracker, QInt8PutsFewerBytesOnTheWireThanPayload) {
   fl::CommTracker comm;
   comm.set_codec(CodecId::kQInt8);
-  comm.upload_floats(1000);
+  comm.upload_envelope(1000, fl::wire::encoded_size(CodecId::kQInt8, 1000));
   const std::uint64_t encoded = fl::wire::encoded_size(CodecId::kQInt8, 1000);
   EXPECT_EQ(comm.bytes_up(), encoded);
   EXPECT_EQ(comm.payload_bytes(), 4000u);

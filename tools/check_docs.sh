@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Docs-consistency check (run by tier1.sh after the release build):
+#   1. every --flag in `fedclust_sim --help` is documented somewhere in
+#      README.md / EXPERIMENTS.md / docs/*.md, and every --flag those
+#      files mention exists in --help (minus known non-sim flags);
+#   2. every relative markdown link in docs/*.md points at a real file;
+#   3. every `path:line` anchor in docs/*.md names a real file and a
+#      line that exists.
+# Usage: tools/check_docs.sh [path/to/fedclust_sim]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sim="${1:-build/tools/fedclust_sim}"
+[ -x "$sim" ] || { echo "check_docs: $sim not built" >&2; exit 1; }
+
+doc_files=(README.md EXPERIMENTS.md docs/*.md)
+fail=0
+
+# Flags that appear in the docs but belong to cmake/ctest/benchmark
+# invocations, not to fedclust_sim.
+ignore='^(benchmark_filter|build|extras|preset|test-dir|output-on-failure|help)$'
+
+help_flags=$("$sim" --help | grep -oE '^  --[a-zA-Z][a-zA-Z0-9_-]*' |
+             sed 's/^  --//' | sort -u)
+doc_flags=$(grep -ohE '\-\-[a-zA-Z][a-zA-Z0-9_-]*' "${doc_files[@]}" |
+            sed 's/^--//' | sort -u)
+
+for f in $help_flags; do
+  echo "$f" | grep -qE "$ignore" && continue
+  echo "$doc_flags" | grep -qx "$f" ||
+    { echo "check_docs: --$f is in --help but undocumented" >&2; fail=1; }
+done
+for f in $doc_flags; do
+  echo "$f" | grep -qE "$ignore" && continue
+  echo "$help_flags" | grep -qx "$f" ||
+    { echo "check_docs: docs mention --$f, absent from --help" >&2; fail=1; }
+done
+
+# Relative markdown links: [text](target) where target is not a URL or
+# a pure #fragment must resolve against the doc's own directory.
+for doc in docs/*.md; do
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|\#*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    [ -e "$(dirname "$doc")/$path" ] ||
+      { echo "check_docs: $doc links to missing file $target" >&2; fail=1; }
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed 's/^](//; s/)$//')
+done
+
+# file:line anchors: `src/foo/bar.cpp:123` must name a real file with at
+# least 123 lines, so doc references rot loudly instead of silently.
+for doc in docs/*.md; do
+  while IFS= read -r anchor; do
+    path="${anchor%:*}"
+    line="${anchor##*:}"
+    if [ ! -f "$path" ]; then
+      echo "check_docs: $doc anchors missing file $path" >&2; fail=1
+    elif [ "$line" -gt "$(wc -l < "$path")" ]; then
+      echo "check_docs: $doc anchor $anchor is past end of file" >&2; fail=1
+    fi
+  done < <(grep -ohE '`[A-Za-z0-9_./-]+\.(h|cpp|sh|md|json):[0-9]+`' "$doc" |
+           tr -d '`')
+done
+
+[ "$fail" -eq 0 ] || exit 1
+echo "check_docs ok"

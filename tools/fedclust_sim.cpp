@@ -5,9 +5,12 @@
 //   $ fedclust_sim --method=FedClust --dataset=cifar10 --rounds=40 \
 //       --partition=skew --skew=0.2 --clients=40 --out=trace.csv
 
+#include <cstdio>
+#include <filesystem>
 #include <iostream>
 
 #include "core/registry.h"
+#include "fl/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/config.h"
@@ -65,6 +68,24 @@ int main(int argc, char** argv) {
                     "per-round metrics JSONL path (empty = metrics off)",
                     util::env_string("FEDCLUST_METRICS", ""));
     args.add_option("progress", "per-round INFO progress lines (1|0)", "1");
+    args.add_option("checkpoint-out",
+                    "directory for run snapshots + manifest.json (created "
+                    "if missing; empty = checkpointing off)",
+                    "");
+    args.add_option("checkpoint-every",
+                    "write a snapshot every N round boundaries (0 = only "
+                    "the --halt-after boundary)",
+                    "0");
+    args.add_option("halt-after",
+                    "stop after writing the round-K boundary snapshot — a "
+                    "deterministic stand-in for killing the process (0 = "
+                    "run to completion)",
+                    "0");
+    args.add_option("resume",
+                    "snapshot file to resume from; the other flags must "
+                    "reproduce the config that wrote it (see the "
+                    "checkpoint directory's manifest.json)",
+                    "");
     if (!args.parse(argc, argv)) return 0;
 
     const std::string trace_out = args.str("trace-out");
@@ -107,6 +128,27 @@ int main(int argc, char** argv) {
 
     fl::Federation fed(cfg);
     const auto algo = core::make_algorithm(args.str("method"), fed);
+
+    fl::CheckpointPolicy ckpt;
+    ckpt.dir = args.str("checkpoint-out");
+    ckpt.every = static_cast<std::size_t>(args.integer("checkpoint-every"));
+    ckpt.halt_after =
+        static_cast<std::size_t>(args.integer("halt-after"));
+    if (!ckpt.dir.empty()) {
+      std::filesystem::create_directories(ckpt.dir);
+      // Manifest before the first round (docs/INVARIANTS.md "Snapshot"):
+      // whatever happens to the run, the directory documents what produced
+      // the snapshots next to it.
+      fl::write_manifest(cfg, algo->name(), ckpt.dir);
+      std::cout << "manifest written to " << ckpt.dir << "/manifest.json\n";
+    }
+    algo->set_checkpoint_policy(ckpt);
+    if (!args.str("resume").empty()) {
+      const fl::RunSnapshot snap = fl::load_snapshot(args.str("resume"));
+      algo->resume_from(snap);
+      std::cout << "resuming " << snap.method << " from round "
+                << snap.next_round << " (" << args.str("resume") << ")\n";
+    }
     if (args.integer("progress") != 0) {
       algo->set_round_observer([](const fl::RoundRecord& rec,
                                   double round_seconds) {
@@ -137,6 +179,14 @@ int main(int argc, char** argv) {
                 << comm.wire_bytes() << " B ("
                 << comm.messages() << " messages, compression "
                 << util::fmt_float(comm.compression_ratio(), 2) << "x)\n";
+    }
+    {
+      // Digest of the algorithm's full serialized state (all model
+      // parameters included): two runs print the same line iff they ended
+      // in bit-identical state — what the kill-and-resume smoke compares.
+      char digest[16];
+      std::snprintf(digest, sizeof(digest), "%08X", algo->state_crc32c());
+      std::cout << "state crc32c=" << digest << "\n";
     }
     if (!args.str("out").empty()) {
       trace.save_csv(args.str("out"));

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full release test suite, then the concurrency
 # tests (thread pool + parallel round executor + obs stress) rebuilt and
-# re-run under ThreadSanitizer, then the fault-injection tests rebuilt and
-# re-run under Address+UBSanitizer, then an observability smoke run of the
-# simulator CLI. Run from the repository root.
+# re-run under ThreadSanitizer, then the fault/wire/snapshot tests rebuilt
+# and re-run under Address+UBSanitizer, then simulator CLI smokes:
+# observability, fault injection, wire codecs, docs consistency
+# (check_docs.sh), and kill-and-resume. Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -86,3 +87,50 @@ assert last["comm.wire_bytes"] < last["comm.payload_bytes"], \
 EOF
 fi
 echo "codec smoke ok"
+
+# Docs consistency: every fedclust_sim flag documented and vice versa,
+# relative links and file:line anchors in docs/ resolve.
+tools/check_docs.sh build/tools/fedclust_sim
+
+# Kill-and-resume smoke: checkpoint at round 2, halt (the deterministic
+# stand-in for a kill), resume, and require the per-round trace CSV and
+# the end-state digest to be bit-identical to an uninterrupted run —
+# with the resumed half running at 1 and 4 threads. A corrupted
+# (truncated) snapshot must be rejected, not half-loaded.
+resume_dir=build/resume_smoke
+rm -rf "$resume_dir" && mkdir -p "$resume_dir"
+state_line() { grep '^state crc32c=' "$1"; }
+for method in FedAvg FedClust; do
+  base_flags=(--method="$method" --clients=8 --rounds=4 --train=6
+              --test=4 --sample=0.5 --seed=11)
+  FEDCLUST_THREADS=1 ./build/tools/fedclust_sim "${base_flags[@]}" \
+      --out="$resume_dir/$method.full.csv" > "$resume_dir/$method.full.out"
+  FEDCLUST_THREADS=1 ./build/tools/fedclust_sim "${base_flags[@]}" \
+      --checkpoint-out="$resume_dir/$method" --halt-after=2 >/dev/null
+  [ -s "$resume_dir/$method/manifest.json" ] ||
+    { echo "resume smoke: $method manifest.json missing" >&2; exit 1; }
+  snap="$resume_dir/$method/snapshot-000002.fcsnap"
+  [ -s "$snap" ] ||
+    { echo "resume smoke: $method snapshot missing" >&2; exit 1; }
+  for threads in 1 4; do
+    FEDCLUST_THREADS=$threads ./build/tools/fedclust_sim \
+        "${base_flags[@]}" --resume="$snap" \
+        --out="$resume_dir/$method.t$threads.csv" \
+        > "$resume_dir/$method.t$threads.out"
+    cmp "$resume_dir/$method.full.csv" "$resume_dir/$method.t$threads.csv" ||
+      { echo "resume smoke: $method trace differs (threads=$threads)" >&2
+        exit 1; }
+    [ "$(state_line "$resume_dir/$method.full.out")" = \
+      "$(state_line "$resume_dir/$method.t$threads.out")" ] ||
+      { echo "resume smoke: $method state digest differs (threads=$threads)" >&2
+        exit 1; }
+  done
+done
+head -c 100 "$resume_dir/FedAvg/snapshot-000002.fcsnap" \
+  > "$resume_dir/corrupt.fcsnap"
+if ./build/tools/fedclust_sim --method=FedAvg --clients=8 --rounds=4 \
+    --train=6 --test=4 --sample=0.5 --seed=11 \
+    --resume="$resume_dir/corrupt.fcsnap" >/dev/null 2>&1; then
+  echo "resume smoke: corrupt snapshot was accepted" >&2; exit 1
+fi
+echo "resume smoke ok"
