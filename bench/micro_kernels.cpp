@@ -18,9 +18,12 @@
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "fl/codec.h"
+#include "tensor/conv_fused.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "util/rng.h"
+#include "util/serialization.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -46,6 +49,29 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+// Transposed-operand variants: conv backward issues NT and TN GEMMs every
+// step, so the transpose-scratch path (thread-local reuse, no per-call
+// allocation) is as hot as the NN path.
+void BM_GemmTransposed(benchmark::State& state, tensor::Trans ta,
+                       tensor::Trans tb) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_tensor({n, n}, 1);
+  const auto b = random_tensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, ta, b, tb));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+void BM_GemmNT(benchmark::State& state) {
+  BM_GemmTransposed(state, tensor::Trans::kNo, tensor::Trans::kYes);
+}
+void BM_GemmTN(benchmark::State& state) {
+  BM_GemmTransposed(state, tensor::Trans::kYes, tensor::Trans::kNo);
+}
+BENCHMARK(BM_GemmNT)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmTN)->Arg(128)->Arg(256);
+
 void BM_Im2Col(benchmark::State& state) {
   const std::size_t c = 6;
   const std::size_t hw = 16;
@@ -57,6 +83,120 @@ void BM_Im2Col(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Im2Col);
+
+// Fused im2col+GEMM inference conv against its unfused equivalent
+// (BM_ConvUnfused): same math, no materialized column matrix.
+void BM_ConvFused(benchmark::State& state) {
+  const std::size_t c = 6, hw = 16, oc = 16, k = 5;
+  const auto img = random_tensor({c, hw, hw}, 3);
+  const auto wts = random_tensor({oc, c * k * k}, 4);
+  std::vector<float> out(oc * hw * hw);
+  for (auto _ : state) {
+    tensor::conv2d_forward_fused(img.data(), c, hw, hw, wts.data(), oc, k, k,
+                                 1, 2, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ConvFused);
+
+void BM_ConvUnfused(benchmark::State& state) {
+  const std::size_t c = 6, hw = 16, oc = 16, k = 5;
+  const auto img = random_tensor({c, hw, hw}, 3);
+  const auto wts = random_tensor({oc, c * k * k}, 4);
+  std::vector<float> col(c * k * k * hw * hw);
+  std::vector<float> out(oc * hw * hw);
+  for (auto _ : state) {
+    tensor::im2col(img.data(), c, hw, hw, k, k, 1, 2, col.data());
+    tensor::gemm(tensor::Trans::kNo, tensor::Trans::kNo, oc, hw * hw,
+                 c * k * k, 1.0f, wts.data(), c * k * k, col.data(), hw * hw,
+                 0.0f, out.data(), hw * hw);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ConvUnfused);
+
+// Wire codec encode+decode round trip per payload float.
+void BM_CodecRoundTrip(benchmark::State& state, fl::wire::CodecId codec) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto v = random_tensor({n}, 5);
+  for (auto _ : state) {
+    const auto bytes = fl::wire::encode_payload(codec, v.data(), n);
+    benchmark::DoNotOptimize(
+        fl::wire::decode_payload(codec, bytes.data(), bytes.size(), n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+void BM_CodecF16(benchmark::State& state) {
+  BM_CodecRoundTrip(state, fl::wire::CodecId::kF16);
+}
+void BM_CodecQInt8(benchmark::State& state) {
+  BM_CodecRoundTrip(state, fl::wire::CodecId::kQInt8);
+}
+BENCHMARK(BM_CodecF16)->Arg(1 << 16);
+BENCHMARK(BM_CodecQInt8)->Arg(1 << 16);
+
+void BM_Crc32c(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  std::vector<std::uint8_t> data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc32c(data.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Crc32c)->Arg(1 << 16);
+
+// int8-domain cohort aggregation (the --fast-math-kernels qint8 path)
+// against expanding every client to floats and averaging.
+void BM_Qint8Aggregate(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  const std::size_t clients = 8;
+  std::vector<std::vector<std::uint8_t>> enc;
+  for (std::size_t c = 0; c < clients; ++c) {
+    const auto v = random_tensor({n}, 7 + c);
+    enc.push_back(
+        fl::wire::encode_payload(fl::wire::CodecId::kQInt8, v.data(), n));
+  }
+  std::vector<std::pair<const std::vector<std::uint8_t>*, double>> entries;
+  for (const auto& e : enc) {
+    entries.emplace_back(&e, 1.0 / static_cast<double>(clients));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::wire::qint8_weighted_average(entries, n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * clients));
+}
+BENCHMARK(BM_Qint8Aggregate);
+
+void BM_FloatAggregate(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  const std::size_t clients = 8;
+  std::vector<std::vector<std::uint8_t>> enc;
+  for (std::size_t c = 0; c < clients; ++c) {
+    const auto v = random_tensor({n}, 7 + c);
+    enc.push_back(
+        fl::wire::encode_payload(fl::wire::CodecId::kQInt8, v.data(), n));
+  }
+  for (auto _ : state) {
+    // What aggregation costs without the int8 path: decode every client to
+    // floats, then the double-accumulating weighted average.
+    std::vector<std::vector<float>> dec;
+    for (const auto& e : enc) {
+      dec.push_back(fl::wire::decode_payload(fl::wire::CodecId::kQInt8,
+                                             e.data(), e.size(), n));
+    }
+    std::vector<std::pair<const std::vector<float>*, double>> entries;
+    for (const auto& d : dec) entries.emplace_back(&d, 1.0);
+    benchmark::DoNotOptimize(fl::weighted_average(entries));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * clients));
+}
+BENCHMARK(BM_FloatAggregate);
 
 void BM_LeNetForward(benchmark::State& state) {
   nn::Model m = nn::lenet5(3, 16, 10, 1);

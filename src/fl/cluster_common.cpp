@@ -37,16 +37,16 @@ void cluster_fedavg_round(Federation& fed, std::size_t round,
         return job;
       });
 
-  // cluster -> (params, weight) of the *delivered* updates, grouped in
-  // client-index order; `hollowed` marks clusters whose entire sampled
-  // membership was lost to faults this round.
-  std::vector<std::vector<std::pair<const std::vector<float>*, double>>>
-      per_cluster(cluster_models.size());
+  // cluster -> the *delivered* updates, grouped in client-index order;
+  // `sampled_members` distinguishes clusters whose entire sampled
+  // membership was lost to faults this round from unsampled ones.
+  std::vector<std::vector<const RoundTrainResult*>> per_cluster(
+      cluster_models.size());
   std::vector<std::size_t> sampled_members(cluster_models.size(), 0);
   for (const auto& res : results) {
     const std::size_t k = assignment[res.client];
     ++sampled_members[k];
-    if (res.delivered) per_cluster[k].emplace_back(&res.params, res.weight);
+    if (res.delivered) per_cluster[k].push_back(&res);
   }
   for (std::size_t k = 0; k < cluster_models.size(); ++k) {
     if (per_cluster[k].empty()) {
@@ -61,7 +61,13 @@ void cluster_fedavg_round(Federation& fed, std::size_t round,
       }
       continue;
     }
-    cluster_models[k] = weighted_average(per_cluster[k]);
+    if (try_int8_aggregate(cluster_models[k], per_cluster[k])) continue;
+    std::vector<std::pair<const std::vector<float>*, double>> entries;
+    entries.reserve(per_cluster[k].size());
+    for (const RoundTrainResult* r : per_cluster[k]) {
+      entries.emplace_back(&r->params, r->weight);
+    }
+    cluster_models[k] = weighted_average(entries);
   }
 }
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/simd.h"
+#include "util/f16.h"
 #include "util/serialization.h"
 
 namespace fedclust::fl::wire {
@@ -33,72 +36,9 @@ bool codec_id_valid(std::uint8_t raw) { return raw < kNumCodecs; }
 
 // ------------------------------------------------------------------ f16
 
-std::uint16_t f32_to_f16(float v) {
-  std::uint32_t f;
-  std::memcpy(&f, &v, sizeof(f));
-  const std::uint32_t sign = (f >> 16) & 0x8000u;
-  f &= 0x7fffffffu;
+std::uint16_t f32_to_f16(float v) { return util::f32_to_f16(v); }
 
-  if (f >= 0x7f800000u) {  // inf / nan
-    const std::uint32_t mant = f & 0x7fffffu;
-    if (mant == 0) return static_cast<std::uint16_t>(sign | 0x7c00u);
-    const std::uint32_t hm = mant >> 13;
-    return static_cast<std::uint16_t>(sign | 0x7c00u | (hm ? hm : 1u));
-  }
-
-  const std::int32_t exp = static_cast<std::int32_t>(f >> 23) - 127;
-  const std::uint32_t mant = f & 0x7fffffu;
-  if (exp >= 16) return static_cast<std::uint16_t>(sign | 0x7c00u);
-
-  if (exp >= -14) {
-    // Normal half: drop 13 mantissa bits with round-to-nearest-even. A
-    // mantissa carry propagates into the exponent field, and an exponent
-    // carry out of range lands exactly on the inf encoding.
-    const std::uint32_t hexp = static_cast<std::uint32_t>(exp + 15);
-    std::uint32_t combined = (hexp << 10) | (mant >> 13);
-    const std::uint32_t rem = mant & 0x1fffu;
-    if (rem > 0x1000u || (rem == 0x1000u && (combined & 1u))) ++combined;
-    return static_cast<std::uint16_t>(sign | combined);
-  }
-
-  if (exp >= -25) {
-    // Subnormal half: value = q * 2^-24 with RNE on the shifted-out bits.
-    const std::uint32_t full = mant | 0x800000u;
-    const std::uint32_t shift = static_cast<std::uint32_t>(-1 - exp);  // 14..24
-    std::uint32_t q = full >> shift;
-    const std::uint32_t rem = full & ((1u << shift) - 1u);
-    const std::uint32_t half = 1u << (shift - 1);
-    if (rem > half || (rem == half && (q & 1u))) ++q;
-    return static_cast<std::uint16_t>(sign | q);
-  }
-
-  return static_cast<std::uint16_t>(sign);  // underflow to signed zero
-}
-
-float f16_to_f32(std::uint16_t h) {
-  const std::uint32_t sign = (std::uint32_t{h} & 0x8000u) << 16;
-  const std::uint32_t exp = (h >> 10) & 0x1fu;
-  std::uint32_t mant = h & 0x3ffu;
-  std::uint32_t bits;
-  if (exp == 0x1fu) {
-    bits = sign | 0x7f800000u | (mant << 13);
-  } else if (exp != 0) {
-    bits = sign | ((exp + 112u) << 23) | (mant << 13);
-  } else if (mant != 0) {
-    // Subnormal half: normalize into a float with an implicit leading 1.
-    std::uint32_t e = 113;
-    while (!(mant & 0x400u)) {
-      mant <<= 1;
-      --e;
-    }
-    bits = sign | (e << 23) | ((mant & 0x3ffu) << 13);
-  } else {
-    bits = sign;
-  }
-  float v;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
+float f16_to_f32(std::uint16_t h) { return util::f16_to_f32(h); }
 
 // ------------------------------------------------------------------ sizes
 
@@ -113,6 +53,15 @@ void check_len(std::size_t len, std::size_t want, const char* codec) {
     throw std::runtime_error(std::string("codec ") + codec +
                              ": payload length mismatch");
   }
+}
+
+// The f16 kernels operate on uint16_t; wire buffers are byte vectors. The
+// byte image of a little-endian uint16_t array IS the wire format, so on LE
+// hosts a 2-aligned buffer can be reinterpreted directly. Heap allocations
+// are always sufficiently aligned; the check only guards sliced views.
+bool f16_fast_path(const void* p) {
+  return util::host_is_little_endian() &&
+         (reinterpret_cast<std::uintptr_t>(p) & 1u) == 0;
 }
 
 }  // namespace
@@ -130,48 +79,59 @@ std::size_t encoded_size(CodecId codec, std::size_t n) {
 
 std::vector<std::uint8_t> encode_payload(CodecId codec, const float* data,
                                          std::size_t n) {
+  // All float-touching work goes through the dispatched kernel table. The
+  // scalar table is the golden reference and every SIMD table is bit-exact
+  // against it, so the wire bytes are independent of the active ISA.
+  const tensor::simd::KernelTable& kt = tensor::simd::kernels();
   std::vector<std::uint8_t> out;
-  out.reserve(encoded_size(codec, n));
   switch (codec) {
     case CodecId::kRawF32:
-      for (std::size_t i = 0; i < n; ++i) util::put_f32_le(out, data[i]);
+      out.resize(n * 4);
+      if (util::host_is_little_endian()) {
+        std::memcpy(out.data(), data, n * 4);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          util::store_f32_le(out.data() + i * 4, data[i]);
+        }
+      }
       return out;
     case CodecId::kF16:
-      for (std::size_t i = 0; i < n; ++i) {
-        util::put_u16_le(out, f32_to_f16(data[i]));
+      out.resize(n * 2);
+      if (f16_fast_path(out.data())) {
+        kt.f16_encode(data, n, reinterpret_cast<std::uint16_t*>(out.data()));
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          util::store_u16_le(out.data() + i * 2, util::f32_to_f16(data[i]));
+        }
       }
       return out;
     case CodecId::kQInt8: {
+      out.resize(encoded_size(CodecId::kQInt8, n));
+      std::uint8_t* pos = out.data();
       for (std::size_t i0 = 0; i0 < n; i0 += kQuantChunk) {
         const std::size_t m = std::min(kQuantChunk, n - i0);
-        float lo = data[i0], hi = data[i0];
-        bool finite = true;
-        for (std::size_t i = i0; i < i0 + m; ++i) {
-          if (!std::isfinite(data[i])) finite = false;
-          lo = std::min(lo, data[i]);
-          hi = std::max(hi, data[i]);
-        }
+        float lo, hi;
+        bool finite;
+        kt.minmax_finite(data + i0, m, &lo, &hi, &finite);
         const float scale = finite ? (hi - lo) / 255.0f : 0.0f;
         if (!finite || !std::isfinite(scale)) {
           // Poisoned chunk: a NaN scale makes the whole chunk decode to
           // NaN, so non-finite corruption survives the lossy codec instead
           // of being quantized back into the finite range.
-          util::put_f32_le(out, std::numeric_limits<float>::quiet_NaN());
-          util::put_f32_le(out, 0.0f);
-          out.insert(out.end(), m, std::uint8_t{0});
+          util::store_f32_le(pos, std::numeric_limits<float>::quiet_NaN());
+          util::store_f32_le(pos + 4, 0.0f);
+          std::memset(pos + 8, 0, m);
+          pos += 8 + m;
           continue;
         }
-        util::put_f32_le(out, scale);
-        util::put_f32_le(out, lo);
-        for (std::size_t i = i0; i < i0 + m; ++i) {
-          std::uint8_t q = 0;
-          if (scale > 0.0f) {
-            const float t = (data[i] - lo) / scale;
-            const long r = std::lroundf(t);
-            q = static_cast<std::uint8_t>(r < 0 ? 0 : (r > 255 ? 255 : r));
-          }
-          out.push_back(q);
+        util::store_f32_le(pos, scale);
+        util::store_f32_le(pos + 4, lo);
+        if (scale > 0.0f) {
+          kt.qint8_quantize(data + i0, m, lo, scale, pos + 8);
+        } else {
+          std::memset(pos + 8, 0, m);
         }
+        pos += 8 + m;
       }
       return out;
     }
@@ -183,23 +143,35 @@ std::vector<std::uint8_t> encode_payload(CodecId codec, const float* data,
 
 std::vector<float> decode_payload(CodecId codec, const std::uint8_t* data,
                                   std::size_t len, std::size_t n) {
+  const tensor::simd::KernelTable& kt = tensor::simd::kernels();
   std::vector<float> out;
-  out.reserve(n);
   switch (codec) {
     case CodecId::kRawF32:
       check_len(len, n * 4, "raw_f32");
-      for (std::size_t i = 0; i < n; ++i) {
-        out.push_back(util::get_f32_le(data + i * 4));
+      out.resize(n);
+      if (util::host_is_little_endian()) {
+        std::memcpy(out.data(), data, n * 4);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = util::get_f32_le(data + i * 4);
+        }
       }
       return out;
     case CodecId::kF16:
       check_len(len, n * 2, "f16");
-      for (std::size_t i = 0; i < n; ++i) {
-        out.push_back(f16_to_f32(util::get_u16_le(data + i * 2)));
+      out.resize(n);
+      if (f16_fast_path(data)) {
+        kt.f16_decode(reinterpret_cast<const std::uint16_t*>(data), n,
+                      out.data());
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = util::f16_to_f32(util::get_u16_le(data + i * 2));
+        }
       }
       return out;
     case CodecId::kQInt8: {
       check_len(len, encoded_size(CodecId::kQInt8, n), "qint8");
+      out.resize(n);
       std::size_t pos = 0;
       for (std::size_t i0 = 0; i0 < n; i0 += kQuantChunk) {
         const std::size_t m = std::min(kQuantChunk, n - i0);
@@ -207,19 +179,91 @@ std::vector<float> decode_payload(CodecId codec, const std::uint8_t* data,
         const float lo = util::get_f32_le(data + pos + 4);
         pos += 8;
         if (!std::isfinite(scale) || !std::isfinite(lo)) {
-          out.insert(out.end(), m, std::numeric_limits<float>::quiet_NaN());
+          std::fill(out.begin() + static_cast<std::ptrdiff_t>(i0),
+                    out.begin() + static_cast<std::ptrdiff_t>(i0 + m),
+                    std::numeric_limits<float>::quiet_NaN());
           pos += m;
           continue;
         }
-        for (std::size_t i = 0; i < m; ++i) {
-          out.push_back(lo + scale * static_cast<float>(data[pos + i]));
-        }
+        kt.qint8_dequantize(data + pos, m, lo, scale, out.data() + i0);
         pos += m;
       }
       return out;
     }
   }
   throw std::invalid_argument("decode_payload: bad codec id");
+}
+
+// ------------------------------------------- int8-domain weighted average
+
+std::vector<float> qint8_weighted_average(
+    const std::vector<std::pair<const std::vector<std::uint8_t>*, double>>&
+        entries,
+    std::size_t n) {
+  const tensor::simd::KernelTable& kt = tensor::simd::kernels();
+  const std::size_t chunks = qint8_chunks(n);
+
+  // Per-element fixed-point sums of w*scale*q (24 fractional bits), plus
+  // per-chunk double offsets sum(w*lo). `exact` holds the double fallback
+  // contributions for (entry, chunk) pairs whose multiplier does not fit
+  // the fixed-point guard; it is allocated lazily since the fallback is
+  // rare (it needs |w*scale| >= ~0.5).
+  std::vector<std::int64_t> acc(n, 0);
+  std::vector<double> off(chunks, 0.0);
+  std::vector<double> exact;
+  std::vector<std::uint8_t> poisoned(chunks, 0);
+  constexpr double kFix = 16777216.0;  // 2^24
+
+  for (const auto& [bytes, w] : entries) {
+    check_len(bytes->size(), encoded_size(CodecId::kQInt8, n), "qint8");
+    const std::uint8_t* data = bytes->data();
+    std::size_t pos = 0;
+    for (std::size_t ci = 0; ci < chunks; ++ci) {
+      const std::size_t i0 = ci * kQuantChunk;
+      const std::size_t m = std::min(kQuantChunk, n - i0);
+      const float scale = util::get_f32_le(data + pos);
+      const float lo = util::get_f32_le(data + pos + 4);
+      pos += 8 + m;
+      if (!std::isfinite(scale) || !std::isfinite(lo)) {
+        poisoned[ci] = 1;
+        continue;
+      }
+      off[ci] += w * static_cast<double>(lo);
+      const double ws = w * static_cast<double>(scale);
+      const double m24d = ws * kFix;
+      const long long m24 = std::llround(m24d);
+      if (std::abs(m24d) < 8388608.0 /* 2^23: m24*255 fits int32 */) {
+        if (m24 != 0) {
+          kt.qint8_accumulate(acc.data() + i0, data + pos - m, m,
+                              static_cast<std::int32_t>(m24));
+        }
+      } else {
+        if (exact.empty()) exact.assign(n, 0.0);
+        const std::uint8_t* q = data + pos - m;
+        for (std::size_t i = 0; i < m; ++i) {
+          exact[i0 + i] += ws * static_cast<double>(q[i]);
+        }
+      }
+    }
+  }
+
+  std::vector<float> out(n);
+  for (std::size_t ci = 0; ci < chunks; ++ci) {
+    const std::size_t i0 = ci * kQuantChunk;
+    const std::size_t m = std::min(kQuantChunk, n - i0);
+    if (poisoned[ci]) {
+      std::fill(out.begin() + static_cast<std::ptrdiff_t>(i0),
+                out.begin() + static_cast<std::ptrdiff_t>(i0 + m),
+                std::numeric_limits<float>::quiet_NaN());
+      continue;
+    }
+    for (std::size_t i = i0; i < i0 + m; ++i) {
+      double v = static_cast<double>(acc[i]) / kFix + off[ci];
+      if (!exact.empty()) v += exact[i];
+      out[i] = static_cast<float>(v);
+    }
+  }
+  return out;
 }
 
 }  // namespace fedclust::fl::wire

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fedclust::fl::wire {
@@ -65,5 +66,19 @@ std::vector<float> decode_payload(CodecId codec, const std::uint8_t* data,
 // IEEE 754 binary16 conversions (round-to-nearest-even); exposed for tests.
 std::uint16_t f32_to_f16(float v);
 float f16_to_f32(std::uint16_t h);
+
+// Weighted average of qint8-encoded payloads computed in the quantized
+// domain: per-value contributions w*scale*q accumulate as int64 fixed-point
+// sums (24 fractional bits) via the dispatched int8 kernels, so the encoded
+// bytes never have to be expanded to per-client float vectors. Entries are
+// (payload bytes, normalized weight) pairs; every payload must be exactly
+// encoded_size(kQInt8, n) bytes (throws otherwise). Chunks poisoned by any
+// client decode to NaN, matching decode_payload + float averaging. This is
+// an approximation of averaging the decoded floats (fixed-point multiplier
+// error <= 2^-25 per q step); it only runs under --fast-math-kernels.
+std::vector<float> qint8_weighted_average(
+    const std::vector<std::pair<const std::vector<std::uint8_t>*, double>>&
+        entries,
+    std::size_t n);
 
 }  // namespace fedclust::fl::wire

@@ -10,6 +10,7 @@
 #include "fl/parallel_round.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cpu.h"
 #include "util/logging.h"
 
 namespace fedclust::fl {
@@ -106,6 +107,17 @@ Federation::Federation(ExperimentConfig cfg,
   }
   init_params_ = workspace_.flat_params();
   comm_.set_codec(cfg_.codec);
+  if (obs::MetricsRegistry::enabled()) {
+    // Record the resolved kernel dispatch in the metrics summary so every
+    // run documents which ISA produced its numbers.
+    obs::MetricsRegistry::instance()
+        .gauge(std::string("kernels.isa.") +
+               util::isa_name(util::active_isa()))
+        .set(1);
+    obs::MetricsRegistry::instance()
+        .gauge("kernels.fast_math")
+        .set(util::fast_math_kernels() ? 1 : 0);
+  }
 }
 
 nn::Model Federation::make_model(std::uint64_t salt) const {
@@ -177,8 +189,8 @@ std::vector<std::size_t> Federation::sample_round(std::size_t round) const {
 
 std::vector<float> Federation::wire_round_trip(
     wire::MessageKind kind, const float* data, std::size_t n,
-    std::uint64_t sender, std::size_t round,
-    std::uint64_t* encoded_bytes) const {
+    std::uint64_t sender, std::size_t round, std::uint64_t* encoded_bytes,
+    std::vector<std::uint8_t>* payload_out) const {
   std::vector<std::uint8_t> bytes;
   {
     obs::SpanScope span(encode_span_name(cfg_.codec), n);
@@ -197,6 +209,9 @@ std::vector<float> Federation::wire_round_trip(
                                wire::message_kind_name(kind) + " failed: " +
                                wire::decode_status_name(status));
     }
+  }
+  if (payload_out != nullptr) {
+    payload_out->assign(bytes.begin() + wire::kHeaderSize, bytes.end());
   }
   return std::move(env.payload);
 }
@@ -262,8 +277,10 @@ void Federation::bill_upload(std::uint64_t n_floats, std::uint64_t messages) {
 
 bool Federation::deliver_update(std::size_t client, std::size_t round,
                                 std::vector<float>& params,
-                                std::uint64_t upload_floats) {
+                                std::uint64_t upload_floats,
+                                std::vector<std::uint8_t>* encoded_out) {
   OBS_SPAN_ARG("fault.deliver", client);
+  if (encoded_out != nullptr) encoded_out->clear();
   const wire::CodecId codec = cfg_.codec;
   const char* reject = nullptr;
   if (!faults_.active()) {
@@ -275,9 +292,11 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
                             wire::encoded_size(codec, upload_floats));
     }
     params = wire_round_trip(wire::MessageKind::kUpdatePush, params.data(),
-                             params.size(), client, round, nullptr);
+                             params.size(), client, round, nullptr,
+                             encoded_out);
     reject = validator_.check(params);
     if (reject == nullptr) return true;
+    if (encoded_out != nullptr) encoded_out->clear();
     OBS_COUNTER_ADD("fault.rejected_updates", 1);
     FC_LOG_WARN << "client " << client << " round " << round
                 << ": update quarantined (" << reject << ")";
@@ -380,7 +399,16 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
                  << ": update quarantined (" << reject << ")";
     return false;
   }
+  if (encoded_out != nullptr) {
+    // Bytes as the server received them (post bit-flip injection, CRC- and
+    // validator-clean): exactly what int8 aggregation may consume.
+    encoded_out->assign(bytes.begin() + wire::kHeaderSize, bytes.end());
+  }
   return true;
+}
+
+bool Federation::int8_aggregation_active() const {
+  return cfg_.codec == wire::CodecId::kQInt8 && util::fast_math_kernels();
 }
 
 util::Rng Federation::train_rng(std::size_t client, std::size_t round) const {

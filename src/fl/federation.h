@@ -158,9 +158,20 @@ class Federation {
   // usable update (the caller must exclude it from every reduction).
   // Emits fault.* counters for each injection and defense. Thread-safe:
   // callable from worker chunks (all shared state is atomic).
+  // When `encoded_out` is non-null, a successfully delivered update also
+  // leaves its encoded wire payload (envelope header stripped) in
+  // *encoded_out — the raw bytes the int8 aggregation path consumes without
+  // re-expanding to floats. Cleared on every failed delivery.
   bool deliver_update(std::size_t client, std::size_t round,
                       std::vector<float>& params,
-                      std::uint64_t upload_floats);
+                      std::uint64_t upload_floats,
+                      std::vector<std::uint8_t>* encoded_out = nullptr);
+
+  // True when cohort updates should be averaged in the quantized int8
+  // domain: the experiment codec is qint8 AND --fast-math-kernels opted in
+  // (the fixed-point average is an approximation of float averaging; see
+  // wire::qint8_weighted_average).
+  bool int8_aggregation_active() const;
 
   // ---- wire layer ----------------------------------------------------
   // Every transfer is serialized into a checksummed wire envelope with the
@@ -229,7 +240,9 @@ class Federation {
   std::vector<float> wire_round_trip(wire::MessageKind kind, const float* data,
                                      std::size_t n, std::uint64_t sender,
                                      std::size_t round,
-                                     std::uint64_t* encoded_bytes) const;
+                                     std::uint64_t* encoded_bytes,
+                                     std::vector<std::uint8_t>* payload_out =
+                                         nullptr) const;
 
   ExperimentConfig cfg_;
   FaultEngine faults_;

@@ -1,5 +1,6 @@
 #include "fl/parallel_round.h"
 
+#include "fl/codec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -51,10 +52,13 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
     const float loss = fed_.client(c).train(
         ws, job.opts, job.rng, job.prox_ref,
         job.grad_offset ? &*job.grad_offset : nullptr);
-    results[idx] = {c, ws.flat_params(),
-                    static_cast<double>(fed_.client(c).n_train()), loss};
+    results[idx].client = c;
+    results[idx].params = ws.flat_params();
+    results[idx].weight = static_cast<double>(fed_.client(c).n_train());
+    results[idx].loss = loss;
     results[idx].delivered = fed_.deliver_update(
-        c, job.round, results[idx].params, job.upload_floats);
+        c, job.round, results[idx].params, job.upload_floats,
+        fed_.int8_aggregation_active() ? &results[idx].encoded : nullptr);
   });
   return results;
 }
@@ -76,16 +80,40 @@ bool any_delivered(const std::vector<RoundTrainResult>& results) {
   return false;
 }
 
+bool try_int8_aggregate(std::vector<float>& model,
+                        const std::vector<const RoundTrainResult*>& group) {
+  const std::size_t dim = model.size();
+  const std::size_t want = wire::encoded_size(wire::CodecId::kQInt8, dim);
+  double total = 0.0;
+  std::vector<std::pair<const std::vector<std::uint8_t>*, double>> entries;
+  entries.reserve(group.size());
+  for (const RoundTrainResult* r : group) {
+    if (r->encoded.size() != want || r->params.size() != dim) return false;
+    entries.emplace_back(&r->encoded, r->weight);
+    total += r->weight;
+  }
+  if (entries.empty() || total <= 0.0) return false;
+  for (auto& [bytes, w] : entries) w /= total;
+  model = wire::qint8_weighted_average(entries, dim);
+  OBS_COUNTER_ADD("agg.int8_rounds", 1);
+  return true;
+}
+
 bool aggregate_or_keep(std::vector<float>& model,
                        const std::vector<RoundTrainResult>& results) {
-  const auto entries = to_entries(results);
-  if (entries.empty()) {
+  if (!any_delivered(results)) {
     // Every sampled client's update was lost or quarantined: carry the
     // model forward unchanged rather than aggregating an empty set.
     OBS_COUNTER_ADD("fault.empty_rounds", 1);
     return false;
   }
-  model = weighted_average(entries);
+  std::vector<const RoundTrainResult*> delivered;
+  delivered.reserve(results.size());
+  for (const auto& r : results) {
+    if (r.delivered) delivered.push_back(&r);
+  }
+  if (try_int8_aggregate(model, delivered)) return true;
+  model = weighted_average(to_entries(results));
   return true;
 }
 

@@ -18,6 +18,7 @@
 // util/thread_pool.h's nested-parallelism policy).
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -50,6 +51,10 @@ struct RoundTrainResult {
   std::vector<float> params;  // post-training flat parameters
   double weight = 0.0;        // client's n_train (FedAvg weighting)
   float loss = 0.0f;          // mean training loss of the final epoch
+  // Encoded wire payload of the delivered update — captured only while
+  // Federation::int8_aggregation_active(), empty otherwise. Lets
+  // aggregate_or_keep average qint8 updates in the quantized domain.
+  std::vector<std::uint8_t> encoded;
   // False when the server never got a usable update — post-train crash,
   // retry budget exhausted, deadline missed, or quarantined by the
   // validator. Undelivered results must stay out of every reduction;
@@ -97,6 +102,16 @@ std::vector<std::pair<const std::vector<float>*, double>> to_entries(
 // True when at least one update survived the round's faults — check before
 // dividing by a total weight.
 bool any_delivered(const std::vector<RoundTrainResult>& results);
+
+// Averages `group` (already filtered to delivered results) into `model` in
+// the quantized int8 domain when every member carried its qint8 wire
+// payload (captured under --fast-math-kernels with the qint8 codec) and
+// bumps agg.int8_rounds once per aggregate. Returns false with `model`
+// untouched when any payload is missing or mis-sized — e.g. a result
+// produced before the flag flipped — so the caller can fall back to exact
+// float averaging.
+bool try_int8_aggregate(std::vector<float>& model,
+                        const std::vector<const RoundTrainResult*>& group);
 
 // Weighted-averages the delivered results into `model`. When every update
 // was lost the model is left untouched (graceful degradation) and

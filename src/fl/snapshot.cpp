@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/cpu.h"
+
 namespace fedclust::fl {
 
 namespace {
@@ -392,6 +394,11 @@ std::string manifest_json(const ExperimentConfig& cfg,
   os << "  \"git_describe\": " << jstr(git_describe) << ",\n";
   os << "  \"build_flags\": " << jstr(build_flags) << ",\n";
   os << "  \"fedclust_threads\": " << jstr(threads) << ",\n";
+  os << "  \"kernels\": {\n";
+  os << "    \"isa\": " << jstr(util::isa_name(util::active_isa())) << ",\n";
+  os << "    \"fast_math\": "
+     << (util::fast_math_kernels() ? "true" : "false") << "\n";
+  os << "  },\n";
   os << "  \"config\": {\n";
   os << "    \"data\": {\n";
   os << "      \"name\": " << jstr(cfg.data_spec.name) << ",\n";

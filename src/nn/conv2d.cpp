@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "tensor/conv_fused.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 
@@ -39,18 +40,27 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
 
   Tensor y({n, out_c_, oh, ow});
   Tensor cols = train ? Tensor({n, col_rows, out_area}) : Tensor();
-  std::vector<float> scratch(col_rows * out_area);
 
   for (std::size_t i = 0; i < n; ++i) {
-    float* col = train ? cols.data() + i * col_rows * out_area
-                       : scratch.data();
-    tensor::im2col(x.data() + i * in_c_ * h * w, in_c_, h, w, kernel_,
-                   kernel_, stride_, pad_, col);
-    // out(out_c, out_area) = W(out_c, col_rows) x col(col_rows, out_area)
     float* out = y.data() + i * out_c_ * out_area;
-    tensor::gemm(tensor::Trans::kNo, tensor::Trans::kNo, out_c_, out_area,
-                 col_rows, 1.0f, weight_.value.data(), col_rows, col,
-                 out_area, 0.0f, out, out_area);
+    if (train) {
+      // Training keeps the full column matrix — backward reuses it for the
+      // dW and dcol GEMMs — so forward runs the unfused path over it.
+      float* col = cols.data() + i * col_rows * out_area;
+      tensor::im2col(x.data() + i * in_c_ * h * w, in_c_, h, w, kernel_,
+                     kernel_, stride_, pad_, col);
+      // out(out_c, out_area) = W(out_c, col_rows) x col(col_rows, out_area)
+      tensor::gemm(tensor::Trans::kNo, tensor::Trans::kNo, out_c_, out_area,
+                   col_rows, 1.0f, weight_.value.data(), col_rows, col,
+                   out_area, 0.0f, out, out_area);
+    } else {
+      // Inference never needs the column matrix again: fuse im2col with the
+      // GEMM so only a small panel is ever materialized (bit-identical to
+      // the unfused path — see conv_fused.h).
+      tensor::conv2d_forward_fused(x.data() + i * in_c_ * h * w, in_c_, h,
+                                   w, weight_.value.data(), out_c_, kernel_,
+                                   kernel_, stride_, pad_, out);
+    }
     for (std::size_t oc = 0; oc < out_c_; ++oc) {
       const float b = bias_.value[oc];
       float* plane = out + oc * out_area;

@@ -1,0 +1,23 @@
+#pragma once
+
+// Fused im2col + GEMM convolution forward.
+//
+// Instead of materializing the whole (C*kh*kw, OH*OW) column matrix and
+// running one big GEMM, the column matrix is produced in small row panels
+// that stay cache-resident, and each panel is multiplied into the output
+// as soon as it is built. The result is bit-identical to the unfused
+// im2col + gemm path: panels walk the reduction dimension in ascending
+// order, so every output element accumulates the same fl() sequence.
+
+#include <cstddef>
+
+namespace fedclust::tensor {
+
+// out(out_c, OH*OW) = weights(out_c, C*kh*kw) x im2col(img). `out` is
+// overwritten (beta == 0 semantics); bias is the caller's business.
+void conv2d_forward_fused(const float* img, std::size_t c, std::size_t h,
+                          std::size_t w, const float* weights,
+                          std::size_t out_c, std::size_t kh, std::size_t kw,
+                          std::size_t stride, std::size_t pad, float* out);
+
+}  // namespace fedclust::tensor

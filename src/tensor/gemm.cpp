@@ -6,62 +6,38 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/simd.h"
+#include "util/cpu.h"
 #include "util/thread_pool.h"
 
 namespace fedclust::tensor {
 
 namespace {
 
-// Panel sizes tuned for a ~32 KiB L1 / 1 MiB L2 scalar core.
-constexpr std::size_t kBlockM = 64;
-constexpr std::size_t kBlockN = 64;
-constexpr std::size_t kBlockK = 128;
-
 // Below this many multiply-adds, thread dispatch costs more than it saves.
 constexpr std::size_t kParallelThreshold = 1u << 18;
 
-// Core kernel on a row range [m0, m1) with A in non-transposed (m, k)
-// layout and B in non-transposed (k, n) layout.
-void gemm_nn_range(std::size_t m0, std::size_t m1, std::size_t n,
-                   std::size_t k, float alpha, const float* a,
-                   std::size_t lda, const float* b, std::size_t ldb,
-                   float* c, std::size_t ldc) {
-  for (std::size_t ib = m0; ib < m1; ib += kBlockM) {
-    const std::size_t ie = std::min(m1, ib + kBlockM);
-    for (std::size_t kb = 0; kb < k; kb += kBlockK) {
-      const std::size_t ke = std::min(k, kb + kBlockK);
-      for (std::size_t jb = 0; jb < n; jb += kBlockN) {
-        const std::size_t je = std::min(n, jb + kBlockN);
-        for (std::size_t i = ib; i < ie; ++i) {
-          const float* __restrict arow = a + i * lda;
-          float* __restrict crow = c + i * ldc;
-          // No zero-skip on av: with real weights an exact zero is
-          // vanishingly rare, and a branch here defeats vectorization of
-          // the FMA loop below.
-          for (std::size_t p = kb; p < ke; ++p) {
-            const float av = alpha * arow[p];
-            const float* __restrict brow = b + p * ldb;
-            for (std::size_t j = jb; j < je; ++j) {
-              crow[j] += av * brow[j];
-            }
-          }
-        }
-      }
-    }
-  }
+// Reusable per-thread transpose scratch: transposed matmuls run in the
+// training hot loop (conv backward does two per image), so the operand
+// copies must not hit the allocator every call. Two slots because one gemm
+// can transpose both A and B.
+std::vector<float>& transpose_scratch(int slot) {
+  thread_local std::vector<float> bufs[2];
+  return bufs[slot];
 }
 
-// Materializes op(X) into a contiguous row-major (rows, cols) buffer.
-std::vector<float> transpose_to(const float* x, std::size_t rows,
-                                std::size_t cols, std::size_t ldx) {
-  // Output is (rows, cols); input is (cols, rows) with leading dim ldx.
-  std::vector<float> out(rows * cols);
+// Materializes op(X) into `out` as a contiguous row-major (rows, cols)
+// buffer; input is (cols, rows) with leading dim ldx.
+const float* transpose_into(std::vector<float>& out, const float* x,
+                            std::size_t rows, std::size_t cols,
+                            std::size_t ldx) {
+  out.resize(rows * cols);
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       out[r * cols + c] = x[c * ldx + r];
     }
   }
-  return out;
+  return out.data();
 }
 
 }  // namespace
@@ -73,45 +49,55 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
   OBS_SPAN_ARG("gemm", m * n * k);
   OBS_COUNTER_ADD("gemm.calls", 1);
   OBS_COUNTER_ADD("gemm.madds", m * n * k);
-  // Scale / clear C first so the kernel can be pure accumulation.
+  const simd::KernelTable& kt = simd::kernels();
+  // Scale / clear C first so the kernel can be pure accumulation. The
+  // common beta == 0 case is a straight fill; beta-scaling goes through the
+  // dispatched elementwise kernel (bit-identical to the scalar loop at any
+  // ISA). Contiguous C (ldc == n) collapses to one pass over m*n.
   if (beta == 0.0f) {
-    for (std::size_t i = 0; i < m; ++i) {
-      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    if (ldc == n) {
+      std::fill(c, c + m * n, 0.0f);
+    } else {
+      for (std::size_t i = 0; i < m; ++i) {
+        std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+      }
     }
   } else if (beta != 1.0f) {
-    for (std::size_t i = 0; i < m; ++i) {
-      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+    if (ldc == n) {
+      kt.scale(c, m * n, beta);
+    } else {
+      for (std::size_t i = 0; i < m; ++i) kt.scale(c + i * ldc, n, beta);
     }
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
-  // Normalize to the NN case by materializing transposed operands. The
-  // copies are O(mk)/O(kn) against an O(mnk) kernel — negligible, and they
-  // keep the hot loop unit-stride.
-  std::vector<float> a_buf;
-  std::vector<float> b_buf;
+  // Normalize to the NN case by materializing transposed operands into the
+  // thread-local scratch. The copies are O(mk)/O(kn) against an O(mnk)
+  // kernel — negligible, and they keep the hot loop unit-stride.
   const float* an = a;
   std::size_t lda_n = lda;
   if (trans_a == Trans::kYes) {
-    a_buf = transpose_to(a, m, k, lda);
-    an = a_buf.data();
+    an = transpose_into(transpose_scratch(0), a, m, k, lda);
     lda_n = k;
   }
   const float* bn = b;
   std::size_t ldb_n = ldb;
   if (trans_b == Trans::kYes) {
-    b_buf = transpose_to(b, k, n, ldb);
-    bn = b_buf.data();
+    bn = transpose_into(transpose_scratch(1), b, k, n, ldb);
     ldb_n = n;
   }
 
+  // The exact kernel is bit-identical to scalar at every ISA; the FMA-
+  // contracted variant only runs under the --fast-math-kernels opt-in.
+  const auto kernel = util::fast_math_kernels() ? kt.gemm_nn_range_fma
+                                                : kt.gemm_nn_range;
   if (m * n * k >= kParallelThreshold && util::global_pool().size() > 0) {
     util::parallel_for_chunked(
         0, m, [&](std::size_t lo, std::size_t hi) {
-          gemm_nn_range(lo, hi, n, k, alpha, an, lda_n, bn, ldb_n, c, ldc);
+          kernel(lo, hi, n, k, alpha, an, lda_n, bn, ldb_n, c, ldc);
         });
   } else {
-    gemm_nn_range(0, m, n, k, alpha, an, lda_n, bn, ldb_n, c, ldc);
+    kernel(0, m, n, k, alpha, an, lda_n, bn, ldb_n, c, ldc);
   }
 }
 

@@ -1,0 +1,321 @@
+// AVX2 kernel table (requires avx2+fma+f16c at runtime; this TU is built
+// with -mavx2 -mfma -mf16c -ffp-contract=off and must only be entered
+// through the dispatch in simd_dispatch.cpp).
+//
+// Every kernel except the _fma GEMM variant is bit-identical to the scalar
+// table: vector lanes perform the same fl(mul) -> fl(add) sequence per
+// element in the same order the scalar loops do, F16C NaN lanes are patched
+// through the scalar converter (hardware quietizes sNaN payloads), and the
+// qint8 round-half-away is emulated exactly (see qint8_quantize below).
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/simd_tables.h"
+#include "util/f16.h"
+
+namespace fedclust::tensor::simd {
+namespace detail {
+
+namespace {
+
+// ------------------------------------------------------------------ gemm
+//
+// Register-blocked microkernel: MR x NR C tile held in ymm registers, A
+// packed (alpha pre-applied — same fl(alpha*a) the scalar kernel computes
+// per use) into an MR-interleaved KC panel, B read in place. For a fixed C
+// element the k terms still accumulate in ascending p with mul and add
+// rounded separately, so the result is bit-identical to the scalar loop.
+
+constexpr std::size_t kMr = 6;
+constexpr std::size_t kNr = 16;  // two __m256 per row
+constexpr std::size_t kKc = 256;
+
+void pack_a(const float* a, std::size_t lda, std::size_t i0, std::size_t mr,
+            std::size_t kb, std::size_t kc, float alpha, float* apack) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    for (std::size_t r = 0; r < kMr; ++r) {
+      apack[p * kMr + r] =
+          r < mr ? alpha * a[(i0 + r) * lda + kb + p] : 0.0f;
+    }
+  }
+}
+
+template <bool kFma>
+void microkernel(const float* apack, std::size_t kc, const float* b,
+                 std::size_t ldb, float* c, std::size_t ldc) {
+  __m256 acc0[kMr];
+  __m256 acc1[kMr];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    acc0[r] = _mm256_loadu_ps(c + r * ldc);
+    acc1[r] = _mm256_loadu_ps(c + r * ldc + 8);
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b + p * ldb);
+    const __m256 b1 = _mm256_loadu_ps(b + p * ldb + 8);
+    const float* ap = apack + p * kMr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_broadcast_ss(ap + r);
+      if constexpr (kFma) {
+        acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+        acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+      } else {
+        acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(av, b0));
+        acc1[r] = _mm256_add_ps(acc1[r], _mm256_mul_ps(av, b1));
+      }
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r) {
+    _mm256_storeu_ps(c + r * ldc, acc0[r]);
+    _mm256_storeu_ps(c + r * ldc + 8, acc1[r]);
+  }
+}
+
+// Partial tiles (row remainder or column tail): plain scalar loops with the
+// golden per-element order — any (i, j) may be computed scalar without
+// breaking bit-identity as long as p ascends.
+void edge_tile(const float* apack, std::size_t kc, std::size_t mr,
+               const float* b, std::size_t ldb, float* c, std::size_t ldc,
+               std::size_t nr) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* __restrict brow = b + p * ldb;
+    for (std::size_t r = 0; r < mr; ++r) {
+      const float av = apack[p * kMr + r];
+      float* __restrict crow = c + r * ldc;
+      for (std::size_t j = 0; j < nr; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+template <bool kFma>
+void gemm_nn_range_avx2(std::size_t m0, std::size_t m1, std::size_t n,
+                        std::size_t k, float alpha, const float* a,
+                        std::size_t lda, const float* b, std::size_t ldb,
+                        float* c, std::size_t ldc) {
+  // Thread-local pack panel: ~6 KiB, reused across calls, one per worker.
+  thread_local std::vector<float> apack_buf;
+  apack_buf.resize(kMr * kKc);
+  float* apack = apack_buf.data();
+
+  for (std::size_t i0 = m0; i0 < m1; i0 += kMr) {
+    const std::size_t mr = std::min(kMr, m1 - i0);
+    for (std::size_t kb = 0; kb < k; kb += kKc) {
+      const std::size_t kc = std::min(kKc, k - kb);
+      pack_a(a, lda, i0, mr, kb, kc, alpha, apack);
+      std::size_t j0 = 0;
+      if (mr == kMr) {
+        for (; j0 + kNr <= n; j0 += kNr) {
+          microkernel<kFma>(apack, kc, b + kb * ldb + j0, ldb,
+                            c + i0 * ldc + j0, ldc);
+        }
+      }
+      if (j0 < n) {
+        edge_tile(apack, kc, mr, b + kb * ldb + j0, ldb, c + i0 * ldc + j0,
+                  ldc, n - j0);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------------- scale
+
+void scale_avx2(float* c, std::size_t n, float beta) {
+  const __m256 vb = _mm256_set1_ps(beta);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(c + i, _mm256_mul_ps(_mm256_loadu_ps(c + i), vb));
+  }
+  for (; i < n; ++i) c[i] *= beta;
+}
+
+// ------------------------------------------------------------------- f16
+
+void f16_encode_avx2(const float* src, std::size_t n, std::uint16_t* dst) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(src + i);
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+    const int nan_lanes =
+        _mm256_movemask_ps(_mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+    if (nan_lanes != 0) {
+      // vcvtps2ph quietizes sNaN payloads; the wire format preserves the
+      // scalar converter's payload bits, so NaN lanes go the scalar way.
+      for (int l = 0; l < 8; ++l) {
+        if (nan_lanes & (1 << l)) dst[i + l] = util::f32_to_f16(src[i + l]);
+      }
+    }
+  }
+  for (; i < n; ++i) dst[i] = util::f32_to_f16(src[i]);
+}
+
+void f16_decode_avx2(const std::uint16_t* src, std::size_t n, float* dst) {
+  const __m128i mag_mask = _mm_set1_epi16(0x7fff);
+  const __m128i inf16 = _mm_set1_epi16(0x7c00);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+    // NaN halves: (h & 0x7fff) > 0x7c00 (both operands are non-negative in
+    // the signed 16-bit compare).
+    const int nan_bytes = _mm_movemask_epi8(
+        _mm_cmpgt_epi16(_mm_and_si128(h, mag_mask), inf16));
+    if (nan_bytes != 0) {
+      for (int l = 0; l < 8; ++l) {
+        if (nan_bytes & (1 << (2 * l))) dst[i + l] = util::f16_to_f32(src[i + l]);
+      }
+    }
+  }
+  for (; i < n; ++i) dst[i] = util::f16_to_f32(src[i]);
+}
+
+// ----------------------------------------------------------------- qint8
+
+void minmax_finite_avx2(const float* src, std::size_t n, float* lo,
+                        float* hi, bool* finite) {
+  const float inf = std::numeric_limits<float>::infinity();
+  float mn = inf;
+  float mx = -inf;
+  bool ok = true;
+  std::size_t i = 0;
+  if (n >= 8) {
+    const __m256 vinf = _mm256_set1_ps(inf);
+    const __m256 abs_mask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    __m256 vmn = vinf;
+    __m256 vmx = _mm256_set1_ps(-inf);
+    __m256 vok = _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+    for (; i + 8 <= n; i += 8) {
+      const __m256 v = _mm256_loadu_ps(src + i);
+      // |v| < inf is false for NaN (unordered) and for inf itself.
+      vok = _mm256_and_ps(
+          vok, _mm256_cmp_ps(_mm256_and_ps(v, abs_mask), vinf, _CMP_LT_OQ));
+      vmn = _mm256_min_ps(vmn, v);
+      vmx = _mm256_max_ps(vmx, v);
+    }
+    ok = _mm256_movemask_ps(vok) == 0xff;
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, vmn);
+    for (float lane : lanes) mn = std::min(mn, lane);
+    _mm256_store_ps(lanes, vmx);
+    for (float lane : lanes) mx = std::max(mx, lane);
+  }
+  for (; i < n; ++i) {
+    if (!std::isfinite(src[i])) ok = false;
+    mn = std::min(mn, src[i]);
+    mx = std::max(mx, src[i]);
+  }
+  *lo = mn + 0.0f;  // canonicalize -0.0 (see scalar kernel)
+  *hi = mx + 0.0f;
+  *finite = ok;
+}
+
+void qint8_quantize_avx2(const float* src, std::size_t n, float lo,
+                         float scale, std::uint8_t* dst) {
+  const __m256 vlo = _mm256_set1_ps(lo);
+  const __m256 vs = _mm256_set1_ps(scale);
+  const __m256 vhalf = _mm256_set1_ps(0.5f);
+  const __m256 vone = _mm256_set1_ps(1.0f);
+  const __m256 vzero = _mm256_setzero_ps();
+  const __m256 v255 = _mm256_set1_ps(255.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t =
+        _mm256_div_ps(_mm256_sub_ps(_mm256_loadu_ps(src + i), vlo), vs);
+    // lroundf emulation (round half away from zero, t >= -0 here): split
+    // t into trunc + exact fraction (Sterbenz: tr <= t <= 2*tr), bump when
+    // the fraction reaches one half, then clamp. Bit-identical to the
+    // scalar kernel's lroundf+clamp over the codec's domain.
+    const __m256 tr =
+        _mm256_round_ps(t, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    const __m256 frac = _mm256_sub_ps(t, tr);
+    const __m256 bump =
+        _mm256_and_ps(_mm256_cmp_ps(frac, vhalf, _CMP_GE_OQ), vone);
+    __m256 r = _mm256_add_ps(tr, bump);
+    r = _mm256_min_ps(_mm256_max_ps(r, vzero), v255);
+    const __m256i q = _mm256_cvtps_epi32(r);  // integral-valued -> exact
+    const __m128i p16 = _mm_packus_epi32(_mm256_castsi256_si128(q),
+                                         _mm256_extracti128_si256(q, 1));
+    const __m128i p8 = _mm_packus_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i), p8);
+  }
+  for (; i < n; ++i) {
+    const float t = (src[i] - lo) / scale;
+    const long r = std::lroundf(t);
+    dst[i] = static_cast<std::uint8_t>(r < 0 ? 0 : (r > 255 ? 255 : r));
+  }
+}
+
+void qint8_dequantize_avx2(const std::uint8_t* src, std::size_t n, float lo,
+                           float scale, float* dst) {
+  const __m256 vlo = _mm256_set1_ps(lo);
+  const __m256 vs = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i q32 = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i)));
+    const __m256 qf = _mm256_cvtepi32_ps(q32);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(vlo, _mm256_mul_ps(vs, qf)));
+  }
+  for (; i < n; ++i) dst[i] = lo + scale * static_cast<float>(src[i]);
+}
+
+void qint8_accumulate_avx2(std::int64_t* acc, const std::uint8_t* q,
+                           std::size_t n, std::int32_t m) {
+  const __m256i vm = _mm256_set1_epi32(m);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i q32 = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + i)));
+    const __m256i prod = _mm256_mullo_epi32(q32, vm);  // |m|*255 < 2^31
+    const __m256i p0 =
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod));
+    const __m256i p1 =
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(prod, 1));
+    auto* a = reinterpret_cast<__m256i*>(acc + i);
+    _mm256_storeu_si256(a, _mm256_add_epi64(_mm256_loadu_si256(a), p0));
+    auto* a1 = reinterpret_cast<__m256i*>(acc + i + 4);
+    _mm256_storeu_si256(a1, _mm256_add_epi64(_mm256_loadu_si256(a1), p1));
+  }
+  const auto m64 = static_cast<std::int64_t>(m);
+  for (; i < n; ++i) acc[i] += m64 * static_cast<std::int64_t>(q[i]);
+}
+
+}  // namespace
+
+const KernelTable* avx2_table() {
+  static const KernelTable table = {
+      util::SimdIsa::kAvx2,
+      &gemm_nn_range_avx2<false>,
+      &gemm_nn_range_avx2<true>,
+      &scale_avx2,
+      &f16_encode_avx2,
+      &f16_decode_avx2,
+      &minmax_finite_avx2,
+      &qint8_quantize_avx2,
+      &qint8_dequantize_avx2,
+      &qint8_accumulate_avx2,
+  };
+  return &table;
+}
+
+}  // namespace detail
+}  // namespace fedclust::tensor::simd
+
+#else  // non-x86 build: no AVX2 table
+
+#include "tensor/simd_tables.h"
+
+namespace fedclust::tensor::simd::detail {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace fedclust::tensor::simd::detail
+
+#endif

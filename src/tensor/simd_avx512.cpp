@@ -1,0 +1,291 @@
+// AVX-512 kernel table (avx512f+bw+vl plus the AVX2 baseline at runtime;
+// built with the matching -mavx512* flags and -ffp-contract=off, entered
+// only through simd_dispatch.cpp). Same bit-identity contract as the AVX2
+// table — see simd_avx2.cpp for the per-kernel equivalence arguments; this
+// file is the 16-lane analogue with mask registers instead of movemasks.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/simd_tables.h"
+#include "util/f16.h"
+
+namespace fedclust::tensor::simd {
+namespace detail {
+
+namespace {
+
+// ------------------------------------------------------------------ gemm
+
+constexpr std::size_t kMr = 8;
+constexpr std::size_t kNr = 32;  // two __m512 per row
+constexpr std::size_t kKc = 256;
+
+void pack_a(const float* a, std::size_t lda, std::size_t i0, std::size_t mr,
+            std::size_t kb, std::size_t kc, float alpha, float* apack) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    for (std::size_t r = 0; r < kMr; ++r) {
+      apack[p * kMr + r] =
+          r < mr ? alpha * a[(i0 + r) * lda + kb + p] : 0.0f;
+    }
+  }
+}
+
+template <bool kFma>
+void microkernel(const float* apack, std::size_t kc, const float* b,
+                 std::size_t ldb, float* c, std::size_t ldc) {
+  __m512 acc0[kMr];
+  __m512 acc1[kMr];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    acc0[r] = _mm512_loadu_ps(c + r * ldc);
+    acc1[r] = _mm512_loadu_ps(c + r * ldc + 16);
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m512 b0 = _mm512_loadu_ps(b + p * ldb);
+    const __m512 b1 = _mm512_loadu_ps(b + p * ldb + 16);
+    const float* ap = apack + p * kMr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const __m512 av = _mm512_set1_ps(ap[r]);
+      if constexpr (kFma) {
+        acc0[r] = _mm512_fmadd_ps(av, b0, acc0[r]);
+        acc1[r] = _mm512_fmadd_ps(av, b1, acc1[r]);
+      } else {
+        acc0[r] = _mm512_add_ps(acc0[r], _mm512_mul_ps(av, b0));
+        acc1[r] = _mm512_add_ps(acc1[r], _mm512_mul_ps(av, b1));
+      }
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r) {
+    _mm512_storeu_ps(c + r * ldc, acc0[r]);
+    _mm512_storeu_ps(c + r * ldc + 16, acc1[r]);
+  }
+}
+
+void edge_tile(const float* apack, std::size_t kc, std::size_t mr,
+               const float* b, std::size_t ldb, float* c, std::size_t ldc,
+               std::size_t nr) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* __restrict brow = b + p * ldb;
+    for (std::size_t r = 0; r < mr; ++r) {
+      const float av = apack[p * kMr + r];
+      float* __restrict crow = c + r * ldc;
+      for (std::size_t j = 0; j < nr; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+template <bool kFma>
+void gemm_nn_range_avx512(std::size_t m0, std::size_t m1, std::size_t n,
+                          std::size_t k, float alpha, const float* a,
+                          std::size_t lda, const float* b, std::size_t ldb,
+                          float* c, std::size_t ldc) {
+  thread_local std::vector<float> apack_buf;
+  apack_buf.resize(kMr * kKc);
+  float* apack = apack_buf.data();
+
+  for (std::size_t i0 = m0; i0 < m1; i0 += kMr) {
+    const std::size_t mr = std::min(kMr, m1 - i0);
+    for (std::size_t kb = 0; kb < k; kb += kKc) {
+      const std::size_t kc = std::min(kKc, k - kb);
+      pack_a(a, lda, i0, mr, kb, kc, alpha, apack);
+      std::size_t j0 = 0;
+      if (mr == kMr) {
+        for (; j0 + kNr <= n; j0 += kNr) {
+          microkernel<kFma>(apack, kc, b + kb * ldb + j0, ldb,
+                            c + i0 * ldc + j0, ldc);
+        }
+      }
+      if (j0 < n) {
+        edge_tile(apack, kc, mr, b + kb * ldb + j0, ldb, c + i0 * ldc + j0,
+                  ldc, n - j0);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------------- scale
+
+void scale_avx512(float* c, std::size_t n, float beta) {
+  const __m512 vb = _mm512_set1_ps(beta);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(c + i, _mm512_mul_ps(_mm512_loadu_ps(c + i), vb));
+  }
+  for (; i < n; ++i) c[i] *= beta;
+}
+
+// ------------------------------------------------------------------- f16
+
+void f16_encode_avx512(const float* src, std::size_t n, std::uint16_t* dst) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_loadu_ps(src + i);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm512_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+    const __mmask16 nan_lanes = _mm512_cmp_ps_mask(v, v, _CMP_UNORD_Q);
+    if (nan_lanes != 0) {
+      for (int l = 0; l < 16; ++l) {
+        if (nan_lanes & (1u << l)) dst[i + l] = util::f32_to_f16(src[i + l]);
+      }
+    }
+  }
+  for (; i < n; ++i) dst[i] = util::f32_to_f16(src[i]);
+}
+
+void f16_decode_avx512(const std::uint16_t* src, std::size_t n, float* dst) {
+  const __m256i mag_mask = _mm256_set1_epi16(0x7fff);
+  const __m256i inf16 = _mm256_set1_epi16(0x7c00);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm512_storeu_ps(dst + i, _mm512_cvtph_ps(h));
+    const __mmask16 nan_lanes =
+        _mm256_cmpgt_epi16_mask(_mm256_and_si256(h, mag_mask), inf16);
+    if (nan_lanes != 0) {
+      for (int l = 0; l < 16; ++l) {
+        if (nan_lanes & (1u << l)) dst[i + l] = util::f16_to_f32(src[i + l]);
+      }
+    }
+  }
+  for (; i < n; ++i) dst[i] = util::f16_to_f32(src[i]);
+}
+
+// ----------------------------------------------------------------- qint8
+
+void minmax_finite_avx512(const float* src, std::size_t n, float* lo,
+                          float* hi, bool* finite) {
+  const float inf = std::numeric_limits<float>::infinity();
+  float mn = inf;
+  float mx = -inf;
+  bool ok = true;
+  std::size_t i = 0;
+  if (n >= 16) {
+    const __m512 vinf = _mm512_set1_ps(inf);
+    __m512 vmn = vinf;
+    __m512 vmx = _mm512_set1_ps(-inf);
+    __mmask16 vok = 0xffffu;
+    for (; i + 16 <= n; i += 16) {
+      const __m512 v = _mm512_loadu_ps(src + i);
+      vok &= _mm512_cmp_ps_mask(_mm512_abs_ps(v), vinf, _CMP_LT_OQ);
+      vmn = _mm512_min_ps(vmn, v);
+      vmx = _mm512_max_ps(vmx, v);
+    }
+    ok = vok == 0xffffu;
+    alignas(64) float lanes[16];
+    _mm512_store_ps(lanes, vmn);
+    for (float lane : lanes) mn = std::min(mn, lane);
+    _mm512_store_ps(lanes, vmx);
+    for (float lane : lanes) mx = std::max(mx, lane);
+  }
+  for (; i < n; ++i) {
+    if (!std::isfinite(src[i])) ok = false;
+    mn = std::min(mn, src[i]);
+    mx = std::max(mx, src[i]);
+  }
+  *lo = mn + 0.0f;
+  *hi = mx + 0.0f;
+  *finite = ok;
+}
+
+void qint8_quantize_avx512(const float* src, std::size_t n, float lo,
+                           float scale, std::uint8_t* dst) {
+  const __m512 vlo = _mm512_set1_ps(lo);
+  const __m512 vs = _mm512_set1_ps(scale);
+  const __m512 vhalf = _mm512_set1_ps(0.5f);
+  const __m512 vone = _mm512_set1_ps(1.0f);
+  const __m512 vzero = _mm512_setzero_ps();
+  const __m512 v255 = _mm512_set1_ps(255.0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 t =
+        _mm512_div_ps(_mm512_sub_ps(_mm512_loadu_ps(src + i), vlo), vs);
+    const __m512 tr =
+        _mm512_roundscale_ps(t, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    const __mmask16 bump =
+        _mm512_cmp_ps_mask(_mm512_sub_ps(t, tr), vhalf, _CMP_GE_OQ);
+    __m512 r = _mm512_mask_add_ps(tr, bump, tr, vone);
+    r = _mm512_min_ps(_mm512_max_ps(r, vzero), v255);
+    const __m512i q = _mm512_cvtps_epi32(r);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm512_cvtepi32_epi8(q));  // 0..255: truncation is exact
+  }
+  for (; i < n; ++i) {
+    const float t = (src[i] - lo) / scale;
+    const long r = std::lroundf(t);
+    dst[i] = static_cast<std::uint8_t>(r < 0 ? 0 : (r > 255 ? 255 : r));
+  }
+}
+
+void qint8_dequantize_avx512(const std::uint8_t* src, std::size_t n,
+                             float lo, float scale, float* dst) {
+  const __m512 vlo = _mm512_set1_ps(lo);
+  const __m512 vs = _mm512_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i q32 = _mm512_cvtepu8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+    const __m512 qf = _mm512_cvtepi32_ps(q32);
+    _mm512_storeu_ps(dst + i, _mm512_add_ps(vlo, _mm512_mul_ps(vs, qf)));
+  }
+  for (; i < n; ++i) dst[i] = lo + scale * static_cast<float>(src[i]);
+}
+
+void qint8_accumulate_avx512(std::int64_t* acc, const std::uint8_t* q,
+                             std::size_t n, std::int32_t m) {
+  const __m512i vm = _mm512_set1_epi32(m);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i q32 = _mm512_cvtepu8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i)));
+    const __m512i prod = _mm512_mullo_epi32(q32, vm);
+    const __m512i p0 =
+        _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(prod, 0));
+    const __m512i p1 =
+        _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(prod, 1));
+    auto* a0 = reinterpret_cast<__m512i*>(acc + i);
+    _mm512_storeu_si512(a0, _mm512_add_epi64(_mm512_loadu_si512(a0), p0));
+    auto* a1 = reinterpret_cast<__m512i*>(acc + i + 8);
+    _mm512_storeu_si512(a1, _mm512_add_epi64(_mm512_loadu_si512(a1), p1));
+  }
+  const auto m64 = static_cast<std::int64_t>(m);
+  for (; i < n; ++i) acc[i] += m64 * static_cast<std::int64_t>(q[i]);
+}
+
+}  // namespace
+
+const KernelTable* avx512_table() {
+  static const KernelTable table = {
+      util::SimdIsa::kAvx512,
+      &gemm_nn_range_avx512<false>,
+      &gemm_nn_range_avx512<true>,
+      &scale_avx512,
+      &f16_encode_avx512,
+      &f16_decode_avx512,
+      &minmax_finite_avx512,
+      &qint8_quantize_avx512,
+      &qint8_dequantize_avx512,
+      &qint8_accumulate_avx512,
+  };
+  return &table;
+}
+
+}  // namespace detail
+}  // namespace fedclust::tensor::simd
+
+#else  // non-x86 build: no AVX-512 table
+
+#include "tensor/simd_tables.h"
+
+namespace fedclust::tensor::simd::detail {
+const KernelTable* avx512_table() { return nullptr; }
+}  // namespace fedclust::tensor::simd::detail
+
+#endif

@@ -1,0 +1,36 @@
+#include "tensor/simd.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "tensor/simd_tables.h"
+
+namespace fedclust::tensor::simd {
+
+const KernelTable& kernels_for(util::SimdIsa isa) {
+  if (!util::isa_supported(isa)) {
+    throw std::runtime_error(std::string("kernels_for: ISA ") +
+                             util::isa_name(isa) +
+                             " not supported on this host");
+  }
+  const KernelTable* table = nullptr;
+  switch (isa) {
+    case util::SimdIsa::kScalar: return detail::scalar_table();
+    case util::SimdIsa::kAvx2: table = detail::avx2_table(); break;
+    case util::SimdIsa::kAvx512: table = detail::avx512_table(); break;
+    case util::SimdIsa::kNeon: table = detail::neon_table(); break;
+  }
+  if (table == nullptr) {
+    // Host-supported but the build lacks the TU (cross-compile mismatch);
+    // impossible with the in-tree CMake, which always compiles every table
+    // for the target architecture.
+    throw std::runtime_error(std::string("kernels_for: ISA ") +
+                             util::isa_name(isa) +
+                             " not compiled into this binary");
+  }
+  return *table;
+}
+
+const KernelTable& kernels() { return kernels_for(util::active_isa()); }
+
+}  // namespace fedclust::tensor::simd

@@ -1,0 +1,17 @@
+#pragma once
+
+// Internal: per-ISA kernel tables wired together by simd_dispatch.cpp.
+// Each function returns a process-lifetime table; avx2/avx512/neon return
+// nullptr when the build (not the host) lacks that ISA's code — runtime
+// host support is checked separately by util::isa_supported.
+
+#include "tensor/simd.h"
+
+namespace fedclust::tensor::simd::detail {
+
+const KernelTable& scalar_table();
+const KernelTable* avx2_table();
+const KernelTable* avx512_table();
+const KernelTable* neon_table();
+
+}  // namespace fedclust::tensor::simd::detail

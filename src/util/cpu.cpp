@@ -1,0 +1,122 @@
+#include "util/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fedclust::util {
+
+namespace {
+
+// -1 = not yet resolved; otherwise the int value of the active SimdIsa.
+std::atomic<int> g_isa{-1};
+std::atomic<bool> g_fast_math{false};
+
+SimdIsa resolve_isa() {
+  const char* env = std::getenv("FEDCLUST_ISA");
+  if (env != nullptr && *env != '\0') {
+    const std::string v(env);
+    SimdIsa want;
+    if (v == "scalar") {
+      want = SimdIsa::kScalar;
+    } else if (v == "avx2") {
+      want = SimdIsa::kAvx2;
+    } else if (v == "avx512") {
+      want = SimdIsa::kAvx512;
+    } else if (v == "neon") {
+      want = SimdIsa::kNeon;
+    } else {
+      throw std::runtime_error("FEDCLUST_ISA=" + v +
+                               ": unknown ISA (expected scalar, avx2, "
+                               "avx512, or neon)");
+    }
+    if (!isa_supported(want)) {
+      throw std::runtime_error("FEDCLUST_ISA=" + v +
+                               ": ISA not supported on this host");
+    }
+    return want;
+  }
+  return best_supported_isa();
+}
+
+}  // namespace
+
+const char* isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar: return "scalar";
+    case SimdIsa::kAvx2: return "avx2";
+    case SimdIsa::kAvx512: return "avx512";
+    case SimdIsa::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+bool isa_supported(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return true;
+    case SimdIsa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      // The AVX2 kernels also use FMA (fast-math GEMM) and F16C (wire
+      // codec), so all three must be present before the table is eligible.
+      return __builtin_cpu_supports("avx2") &&
+             __builtin_cpu_supports("fma") && __builtin_cpu_supports("f16c");
+#else
+      return false;
+#endif
+    case SimdIsa::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return isa_supported(SimdIsa::kAvx2) &&
+             __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+    case SimdIsa::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is baseline on AArch64.
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdIsa best_supported_isa() {
+  if (isa_supported(SimdIsa::kAvx512)) return SimdIsa::kAvx512;
+  if (isa_supported(SimdIsa::kAvx2)) return SimdIsa::kAvx2;
+  if (isa_supported(SimdIsa::kNeon)) return SimdIsa::kNeon;
+  return SimdIsa::kScalar;
+}
+
+SimdIsa active_isa() {
+  int cur = g_isa.load(std::memory_order_acquire);
+  if (cur < 0) {
+    const SimdIsa resolved = resolve_isa();
+    // First resolver wins; concurrent first calls resolve identically
+    // (same env, same host), so the race is benign either way.
+    int expected = -1;
+    g_isa.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                  std::memory_order_acq_rel);
+    cur = g_isa.load(std::memory_order_acquire);
+  }
+  return static_cast<SimdIsa>(cur);
+}
+
+bool force_isa_for_testing(SimdIsa isa) {
+  if (!isa_supported(isa)) return false;
+  g_isa.store(static_cast<int>(isa), std::memory_order_release);
+  return true;
+}
+
+bool fast_math_kernels() {
+  return g_fast_math.load(std::memory_order_relaxed);
+}
+
+void set_fast_math_kernels(bool on) {
+  g_fast_math.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace fedclust::util

@@ -1,0 +1,65 @@
+#pragma once
+
+// Runtime SIMD feature detection and kernel-dispatch policy.
+//
+// The simulator ships one binary with per-ISA kernel translation units
+// (scalar / AVX2 / AVX-512 / NEON); the active ISA is resolved exactly once,
+// at first use, from the host's capabilities — overridable with
+// FEDCLUST_ISA={scalar,avx2,avx512,neon} for testing. The scalar kernels are
+// the golden reference: every default SIMD kernel must be bit-identical to
+// them (docs/INVARIANTS.md §Kernels), so switching ISAs can never change a
+// result bit. Kernels that trade bit-exactness for speed (FMA contraction,
+// int8 aggregation) only run when the opt-in fast-math flag is set
+// (fedclust_sim --fast-math-kernels).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fedclust::util {
+
+enum class SimdIsa : std::uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kNeon = 3,
+};
+
+inline constexpr std::size_t kNumIsas = 4;
+
+// Stable lowercase name ("scalar", "avx2", "avx512", "neon"); returned
+// pointer is a string literal.
+const char* isa_name(SimdIsa isa);
+
+// True when the host can execute the ISA's kernels (scalar: always).
+// AVX2 requires avx2+fma+f16c; AVX-512 requires avx512f+bw+vl.
+bool isa_supported(SimdIsa isa);
+
+// The widest supported ISA on this host.
+SimdIsa best_supported_isa();
+
+// The ISA every dispatched kernel uses, resolved once at first call:
+// FEDCLUST_ISA if set (std::runtime_error when the value is unknown or the
+// host cannot execute it), otherwise best_supported_isa().
+SimdIsa active_isa();
+
+// Test-only: override the active ISA for kernel-parity sweeps inside one
+// process. Returns false (and changes nothing) when the ISA is unsupported
+// on this host. Must not be called while kernels are running on other
+// threads. Pass active_isa()'s original value to restore normal resolution.
+bool force_isa_for_testing(SimdIsa isa);
+
+// Opt-in fast-math kernels (FMA-contracted GEMM, int8 aggregation). Off by
+// default; when off every dispatched kernel is bit-identical to scalar.
+bool fast_math_kernels();
+void set_fast_math_kernels(bool on);
+
+// Hardware CRC32C (SSE4.2 / ARMv8-CRC) over pre-inverted state — internal
+// building blocks for util::crc32c_extend, exposed for the parity test.
+// crc32c_hw_compiled() is false when the build lacks the instructions.
+bool crc32c_hw_compiled();
+std::uint32_t crc32c_raw_hw(std::uint32_t crc, const std::uint8_t* data,
+                            std::size_t n);
+std::uint32_t crc32c_raw_table(std::uint32_t crc, const std::uint8_t* data,
+                               std::size_t n);
+
+}  // namespace fedclust::util

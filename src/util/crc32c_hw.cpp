@@ -1,0 +1,87 @@
+// Hardware CRC32C (Castagnoli) inner loop. This translation unit is the
+// only one compiled with the CRC instruction extensions enabled
+// (-msse4.2 on x86, -march=armv8-a+crc on AArch64); callers must gate on
+// crc32c_hw_compiled() plus a runtime ISA check before taking this path
+// (util::crc32c_extend does). Both instruction sets implement the same
+// reflected 0x82F63B78 polynomial as the table in serialization.cpp, so
+// hardware and table results are bit-identical — asserted per length in
+// simd_kernel_test.
+#include "util/cpu.h"
+
+#include <cstring>
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+
+namespace fedclust::util {
+
+bool crc32c_hw_compiled() { return true; }
+
+std::uint32_t crc32c_raw_hw(std::uint32_t crc, const std::uint8_t* data,
+                            std::size_t n) {
+  // 8 bytes per crc32q; the instruction consumes the u64 LSB-first, which
+  // on this (little-endian) target is exactly the byte order in memory.
+  std::uint64_t c = crc;
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, data, sizeof(v));
+    c = _mm_crc32_u64(c, v);
+    data += 8;
+    n -= 8;
+  }
+  auto c32 = static_cast<std::uint32_t>(c);
+  while (n-- > 0) c32 = _mm_crc32_u8(c32, *data++);
+  return c32;
+}
+
+}  // namespace fedclust::util
+
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+
+#include <arm_acle.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
+namespace fedclust::util {
+
+bool crc32c_hw_compiled() {
+  // The CRC32 extension is optional in ARMv8.0, so "compiled in" is only
+  // usable when the running core actually has it.
+#if defined(__linux__) && defined(HWCAP_CRC32)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#else
+  return true;
+#endif
+}
+
+std::uint32_t crc32c_raw_hw(std::uint32_t crc, const std::uint8_t* data,
+                            std::size_t n) {
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, data, sizeof(v));
+    crc = __crc32cd(crc, v);
+    data += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = __crc32cb(crc, *data++);
+  return crc;
+}
+
+}  // namespace fedclust::util
+
+#else
+
+namespace fedclust::util {
+
+bool crc32c_hw_compiled() { return false; }
+
+std::uint32_t crc32c_raw_hw(std::uint32_t crc, const std::uint8_t* data,
+                            std::size_t n) {
+  return crc32c_raw_table(crc, data, n);
+}
+
+}  // namespace fedclust::util
+
+#endif

@@ -1,0 +1,81 @@
+#pragma once
+
+// Scalar IEEE 754 binary16 <-> binary32 conversions with round-to-nearest-
+// even. These are the golden reference for the vectorized F16C kernels in
+// src/tensor/simd_*.cpp (which must match them bit for bit, including NaN
+// payloads — the SIMD paths patch NaN lanes through these functions) and
+// the implementation behind fl::wire::f32_to_f16 / f16_to_f32.
+
+#include <cstdint>
+#include <cstring>
+
+namespace fedclust::util {
+
+inline std::uint16_t f32_to_f16(float v) {
+  std::uint32_t f;
+  std::memcpy(&f, &v, sizeof(f));
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  f &= 0x7fffffffu;
+
+  if (f >= 0x7f800000u) {  // inf / nan
+    const std::uint32_t mant = f & 0x7fffffu;
+    if (mant == 0) return static_cast<std::uint16_t>(sign | 0x7c00u);
+    const std::uint32_t hm = mant >> 13;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (hm ? hm : 1u));
+  }
+
+  const std::int32_t exp = static_cast<std::int32_t>(f >> 23) - 127;
+  const std::uint32_t mant = f & 0x7fffffu;
+  if (exp >= 16) return static_cast<std::uint16_t>(sign | 0x7c00u);
+
+  if (exp >= -14) {
+    // Normal half: drop 13 mantissa bits with round-to-nearest-even. A
+    // mantissa carry propagates into the exponent field, and an exponent
+    // carry out of range lands exactly on the inf encoding.
+    const std::uint32_t hexp = static_cast<std::uint32_t>(exp + 15);
+    std::uint32_t combined = (hexp << 10) | (mant >> 13);
+    const std::uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (combined & 1u))) ++combined;
+    return static_cast<std::uint16_t>(sign | combined);
+  }
+
+  if (exp >= -25) {
+    // Subnormal half: value = q * 2^-24 with RNE on the shifted-out bits.
+    const std::uint32_t full = mant | 0x800000u;
+    const std::uint32_t shift = static_cast<std::uint32_t>(-1 - exp);  // 14..24
+    std::uint32_t q = full >> shift;
+    const std::uint32_t rem = full & ((1u << shift) - 1u);
+    const std::uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (q & 1u))) ++q;
+    return static_cast<std::uint16_t>(sign | q);
+  }
+
+  return static_cast<std::uint16_t>(sign);  // underflow to signed zero
+}
+
+inline float f16_to_f32(std::uint16_t h) {
+  const std::uint32_t sign = (std::uint32_t{h} & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t mant = h & 0x3ffu;
+  std::uint32_t bits;
+  if (exp == 0x1fu) {
+    bits = sign | 0x7f800000u | (mant << 13);
+  } else if (exp != 0) {
+    bits = sign | ((exp + 112u) << 23) | (mant << 13);
+  } else if (mant != 0) {
+    // Subnormal half: normalize into a float with an implicit leading 1.
+    std::uint32_t e = 113;
+    while (!(mant & 0x400u)) {
+      mant <<= 1;
+      --e;
+    }
+    bits = sign | (e << 23) | ((mant & 0x3ffu) << 13);
+  } else {
+    bits = sign;
+  }
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace fedclust::util

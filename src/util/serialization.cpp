@@ -4,13 +4,17 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/cpu.h"
+
 namespace fedclust::util {
 
 // ------------------------------------------------------------------ crc32c
 
 namespace {
 
-// Table-driven CRC32C (Castagnoli, reflected polynomial 0x82F63B78).
+// Table-driven CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the
+// golden reference the SSE4.2/ARMv8 hardware loop in crc32c_hw.cpp must
+// match bit for bit (it implements the same polynomial in silicon).
 std::array<std::uint32_t, 256> make_crc32c_table() {
   std::array<std::uint32_t, 256> table{};
   for (std::uint32_t i = 0; i < 256; ++i) {
@@ -30,12 +34,25 @@ const std::array<std::uint32_t, 256>& crc32c_table() {
 
 }  // namespace
 
-std::uint32_t crc32c_extend(std::uint32_t crc, const std::uint8_t* data,
-                            std::size_t n) {
+std::uint32_t crc32c_raw_table(std::uint32_t crc, const std::uint8_t* data,
+                               std::size_t n) {
   const auto& table = crc32c_table();
-  crc = ~crc;
   for (std::size_t i = 0; i < n; ++i) {
     crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t crc32c_extend(std::uint32_t crc, const std::uint8_t* data,
+                            std::size_t n) {
+  // FEDCLUST_ISA=scalar pins the table path (scalar-is-golden contract);
+  // any SIMD ISA implies the CRC instructions are runtime-available when
+  // the build carries them. Both paths return identical checksums.
+  crc = ~crc;
+  if (crc32c_hw_compiled() && active_isa() != SimdIsa::kScalar) {
+    crc = crc32c_raw_hw(crc, data, n);
+  } else {
+    crc = crc32c_raw_table(crc, data, n);
   }
   return ~crc;
 }

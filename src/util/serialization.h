@@ -68,6 +68,38 @@ inline float get_f32_le(const std::uint8_t* p) {
   return v;
 }
 
+// `store_*` write into a caller-sized buffer at a raw pointer — the bulk
+// (codec kernel) counterparts of `put_*`, which append byte-at-a-time.
+
+inline void store_u16_le(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+}
+
+inline void store_u32_le(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+  }
+}
+
+inline void store_f32_le(std::uint8_t* p, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  store_u32_le(p, bits);
+}
+
+// True on little-endian hosts, where multi-byte LE fields can be bulk
+// memcpy'd instead of assembled byte-by-byte. Every wire/checkpoint byte
+// must still go through the `put_`/`store_`/`get_` primitives or be guarded
+// by this check — big-endian hosts take the portable path.
+inline constexpr bool host_is_little_endian() {
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__)
+  return __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__;
+#else
+  return false;
+#endif
+}
+
 // ------------------------------------------------------------------
 // CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected). Known answer:
 // crc32c over the ASCII bytes of "123456789" is 0xE3069283.

@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/config.h"
+#include "util/cpu.h"
 #include "util/logging.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -27,7 +28,9 @@ int main(int argc, char** argv) {
         "Environment: FEDCLUST_LOG_LEVEL=trace|debug|info|warn|error|off "
         "sets log verbosity (default info; per-round progress lines are "
         "INFO). FEDCLUST_THREADS sets the worker-pool size (results are "
-        "bit-identical at any value). FEDCLUST_TRACE / FEDCLUST_METRICS "
+        "bit-identical at any value). FEDCLUST_ISA=scalar|avx2|avx512|neon "
+        "pins the SIMD kernel dispatch (default: best supported; results "
+        "are bit-identical at any value). FEDCLUST_TRACE / FEDCLUST_METRICS "
         "provide default paths for --trace-out / --metrics-out.");
     args.add_option("method", "Local|FedAvg|...|FedClust|SCAFFOLD|FedDyn|"
                               "Ditto|FLIS", "FedClust");
@@ -68,6 +71,11 @@ int main(int argc, char** argv) {
                     "per-round metrics JSONL path (empty = metrics off)",
                     util::env_string("FEDCLUST_METRICS", ""));
     args.add_option("progress", "per-round INFO progress lines (1|0)", "1");
+    args.add_option("fast-math-kernels",
+                    "FMA-contracted SIMD kernels + int8-domain qint8 "
+                    "aggregation; trades bit-identity with the scalar "
+                    "reference for speed (1|0)",
+                    "0");
     args.add_option("checkpoint-out",
                     "directory for run snapshots + manifest.json (created "
                     "if missing; empty = checkpointing off)",
@@ -126,6 +134,8 @@ int main(int argc, char** argv) {
     cfg.algo.pacfl_k = cfg.algo.fedclust_k;
     cfg.algo.fedclust_init_epochs = 3;
 
+    util::set_fast_math_kernels(args.integer("fast-math-kernels") != 0);
+
     fl::Federation fed(cfg);
     const auto algo = core::make_algorithm(args.str("method"), fed);
 
@@ -180,6 +190,9 @@ int main(int argc, char** argv) {
                 << comm.messages() << " messages, compression "
                 << util::fmt_float(comm.compression_ratio(), 2) << "x)\n";
     }
+    std::cout << "simd kernels: isa=" << util::isa_name(util::active_isa())
+              << " fast_math="
+              << (util::fast_math_kernels() ? "on" : "off") << "\n";
     {
       // Digest of the algorithm's full serialized state (all model
       // parameters included): two runs print the same line iff they ended

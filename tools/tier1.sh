@@ -4,7 +4,8 @@
 # re-run under ThreadSanitizer, then the fault/wire/snapshot tests rebuilt
 # and re-run under Address+UBSanitizer, then simulator CLI smokes:
 # observability, fault injection, wire codecs, docs consistency
-# (check_docs.sh), and kill-and-resume. Run from the repository root.
+# (check_docs.sh), kill-and-resume, and SIMD dispatch (scalar vs native
+# ISA bit-identity). Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -134,3 +135,41 @@ if ./build/tools/fedclust_sim --method=FedAvg --clients=8 --rounds=4 \
   echo "resume smoke: corrupt snapshot was accepted" >&2; exit 1
 fi
 echo "resume smoke ok"
+
+# SIMD dispatch smoke: the same run under FEDCLUST_ISA=scalar and under the
+# best native ISA must produce bit-identical trace CSVs and state digests
+# (docs/INVARIANTS.md "Kernels"), at 1 and 4 worker threads, for a lossy
+# codec (qint8 exercises every kernel family). The run must also report the
+# resolved ISA in its stdout summary and in the metrics summary table.
+simd_dir=build/simd_smoke
+rm -rf "$simd_dir" && mkdir -p "$simd_dir"
+simd_flags=(--method=FedClust --clients=8 --rounds=3 --train=6 --test=4
+            --sample=0.5 --seed=7 --codec=qint8)
+./build/tools/fedclust_sim "${simd_flags[@]}" \
+    --metrics-out="$simd_dir/metrics.jsonl" \
+    --out="$simd_dir/native.csv" > "$simd_dir/native.out"
+native_isa=$(grep -oP 'simd kernels: isa=\K[a-z0-9]+' "$simd_dir/native.out")
+[ -n "$native_isa" ] ||
+  { echo "simd smoke: no 'simd kernels: isa=' line in output" >&2; exit 1; }
+grep -q "kernels\.isa\.$native_isa" "$simd_dir/native.out" ||
+  { echo "simd smoke: metrics summary lacks kernels.isa.$native_isa" >&2
+    exit 1; }
+for threads in 1 4; do
+  for isa in scalar "$native_isa"; do
+    FEDCLUST_THREADS=$threads FEDCLUST_ISA=$isa ./build/tools/fedclust_sim \
+        "${simd_flags[@]}" --out="$simd_dir/$isa.t$threads.csv" \
+        > "$simd_dir/$isa.t$threads.out"
+    cmp "$simd_dir/native.csv" "$simd_dir/$isa.t$threads.csv" ||
+      { echo "simd smoke: trace differs (isa=$isa threads=$threads)" >&2
+        exit 1; }
+    [ "$(state_line "$simd_dir/native.out")" = \
+      "$(state_line "$simd_dir/$isa.t$threads.out")" ] ||
+      { echo "simd smoke: state digest differs (isa=$isa threads=$threads)" >&2
+        exit 1; }
+  done
+done
+if FEDCLUST_ISA=bogus ./build/tools/fedclust_sim "${simd_flags[@]}" \
+    >/dev/null 2>&1; then
+  echo "simd smoke: unknown FEDCLUST_ISA was accepted" >&2; exit 1
+fi
+echo "simd dispatch smoke ok (native isa: $native_isa)"
