@@ -7,11 +7,14 @@
 #include <stdexcept>
 
 #include "core/registry.h"
+#include "fl/snapshot.h"
 #include "obs/metrics.h"
 #include "util/config.h"
+#include "util/cpu.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace fedclust::bench {
@@ -27,6 +30,36 @@ double phase_seconds(const obs::MetricsRegistry::Snapshot& before,
                      const std::string& name) {
   return after.histogram_snapshot(name).sum -
          before.histogram_snapshot(name).sum;
+}
+
+// Machine-readable sibling of the per-run log line: one
+// BENCH_<cell>.json per fresh (non-cached) run, so perf dashboards can
+// scrape bench_results/ without parsing logs. Cached reruns don't rewrite
+// it — the recorded wall time is always a real measurement.
+void write_bench_json(const fs::path& path, const std::string& name,
+                      const fl::Trace& trace, double wall_seconds,
+                      std::size_t rounds) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    FC_LOG_WARN << "bench json: cannot open " << path.string();
+    return;
+  }
+  const double throughput =
+      wall_seconds > 0.0 ? static_cast<double>(rounds) / wall_seconds : 0.0;
+  os << "{\n";
+  os << "  \"name\": \"" << name << "\",\n";
+  os << "  \"wall_seconds\": " << util::fmt_float(wall_seconds, 3) << ",\n";
+  os << "  \"rounds\": " << rounds << ",\n";
+  os << "  \"rounds_per_second\": " << util::fmt_float(throughput, 3)
+     << ",\n";
+  os << "  \"final_acc\": "
+     << util::fmt_float(trace.final_accuracy(), 6) << ",\n";
+  os << "  \"isa\": \"" << util::isa_name(util::active_isa()) << "\",\n";
+  os << "  \"fast_math\": "
+     << (util::fast_math_kernels() ? "true" : "false") << ",\n";
+  os << "  \"threads\": " << (util::global_pool().size() + 1) << ",\n";
+  os << "  \"git_describe\": \"" << fl::build_git_describe() << "\"\n";
+  os << "}\n";
 }
 
 }  // namespace
@@ -152,11 +185,11 @@ fl::Trace run_method_cached(const std::string& method,
                             std::uint64_t seed) {
   const fs::path dir = fs::path("bench_results") / scale.name;
   fs::create_directories(dir);
-  const fs::path file =
-      dir / (setting + "_" + dataset + "_" + method + "_r" +
-             std::to_string(scale.rounds) + "_n" +
-             std::to_string(scale.n_clients) + "_s" + std::to_string(seed) +
-             ".csv");
+  const std::string cell =
+      setting + "_" + dataset + "_" + method + "_r" +
+      std::to_string(scale.rounds) + "_n" + std::to_string(scale.n_clients) +
+      "_s" + std::to_string(seed);
+  const fs::path file = dir / (cell + ".csv");
   if (auto cached = load_trace_csv(file.string())) {
     FC_LOG_INFO << "cache hit: " << file.string();
     return *cached;
@@ -187,6 +220,8 @@ fl::Trace run_method_cached(const std::string& method,
                                                "fl.eval_seconds"), 1)
               << "s)";
   trace.save_csv(file.string());
+  write_bench_json(dir / ("BENCH_" + cell + ".json"), cell, trace,
+                   sw.seconds(), scale.rounds);
   return trace;
 }
 

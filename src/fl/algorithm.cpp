@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -113,6 +114,11 @@ Trace FlAlgorithm::run() {
     setup();
     OBS_HISTOGRAM_OBSERVE("fl.setup_seconds", setup_sw.seconds());
   }
+  if (obs::EventJournal::enabled()) {
+    // Setup may run warm-up rounds (FedClust profiling, IFCA trials);
+    // flush their rows before round 0's so every flush stays small.
+    obs::EventJournal::instance().flush_round();
+  }
   const std::size_t rounds = fed_.cfg().rounds;
   const std::size_t every = std::max<std::size_t>(1, fed_.cfg().eval_every);
   for (std::size_t r = start_round; r < rounds; ++r) {
@@ -130,7 +136,15 @@ Trace FlAlgorithm::run() {
       rec.round = r;
       {
         OBS_SPAN_ARG("fl.eval_sweep", r);
+        // The eval sweep runs inside Federation with no round in hand; the
+        // context stamps its kEval rows with this round.
+        if (obs::EventJournal::enabled()) {
+          obs::EventJournal::instance().set_round_context(r);
+        }
         rec.avg_local_test_acc = evaluate_all();
+        if (obs::EventJournal::enabled()) {
+          obs::EventJournal::instance().clear_round_context();
+        }
       }
       const double eval_seconds = eval_sw.seconds();
       OBS_HISTOGRAM_OBSERVE("fl.eval_seconds", eval_seconds);
@@ -168,6 +182,11 @@ Trace FlAlgorithm::run() {
       write_snapshot(capture_snapshot(boundary, trace.records),
                      checkpoint_.dir + "/" + snapshot_filename(boundary));
       OBS_COUNTER_ADD("fl.checkpoints", 1);
+    }
+    if (obs::EventJournal::enabled()) {
+      // Round boundary: parallel work has joined, so the flush walks the
+      // per-thread buffers quiescently.
+      obs::EventJournal::instance().flush_round();
     }
     if (at_halt) {
       FC_LOG_INFO << name() << "/" << trace.dataset

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "fl/parallel_round.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 
 namespace fedclust::fl {
@@ -19,6 +20,7 @@ void cluster_fedavg_round(Federation& fed, std::size_t round,
     if (assignment[c] >= cluster_models.size()) {
       throw std::invalid_argument("cluster_fedavg_round: assignment OOB");
     }
+    OBS_JOURNAL(round, c, kCluster, assignment[c]);
   }
 
   // Client announces its cluster id (negligible) and receives that

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/journal.h"
+
 namespace fedclust::fl {
 
 namespace {
@@ -237,6 +239,7 @@ void FaultEngine::corrupt_update(std::vector<float>& params,
                                  std::size_t client, std::size_t round,
                                  CorruptionKind kind) const {
   if (kind == CorruptionKind::kNone || params.empty()) return;
+  OBS_JOURNAL(round, client, kCorrupt, static_cast<std::uint64_t>(kind));
   util::Rng rng = util::Rng(seed_).split(kCorruptSalt +
                                          client * kClientStride + round);
   const auto n = static_cast<std::int64_t>(params.size());
@@ -276,6 +279,8 @@ void FaultEngine::corrupt_update(std::vector<float>& params,
 void FaultEngine::corrupt_wire(std::vector<std::uint8_t>& bytes,
                                std::size_t client, std::size_t round) const {
   if (bytes.empty()) return;
+  OBS_JOURNAL(round, client, kCorrupt,
+              static_cast<std::uint64_t>(CorruptionKind::kBitFlip));
   util::Rng rng = util::Rng(seed_).split(kCorruptSalt +
                                          client * kClientStride + round);
   const auto n = static_cast<std::int64_t>(bytes.size());

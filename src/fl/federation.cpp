@@ -6,8 +6,10 @@
 
 #include <array>
 #include <atomic>
+#include <string_view>
 
 #include "fl/parallel_round.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/cpu.h"
@@ -175,6 +177,7 @@ std::vector<std::size_t> Federation::sample_round(std::size_t round) const {
     for (const std::size_t id : ids) {
       if (faults_.decide(id, round).drop_pre_round) {
         OBS_COUNTER_ADD("fault.injected.pre_round_dropout", 1);
+        OBS_JOURNAL(round, id, kDropped);
       } else {
         survivors.push_back(id);
       }
@@ -184,6 +187,7 @@ std::vector<std::size_t> Federation::sample_round(std::size_t round) const {
     ids = std::move(survivors);
   }
   std::sort(ids.begin(), ids.end());
+  for (const std::size_t id : ids) OBS_JOURNAL(round, id, kSampled);
   return ids;
 }
 
@@ -193,7 +197,9 @@ std::vector<float> Federation::wire_round_trip(
     std::vector<std::uint8_t>* payload_out) const {
   std::vector<std::uint8_t> bytes;
   {
-    obs::SpanScope span(encode_span_name(cfg_.codec), n);
+    // v = payload floats, v2 = sender (client id, or kServerSender for
+    // model pulls) so Perfetto can filter codec work per client.
+    obs::SpanScope span(encode_span_name(cfg_.codec), n, sender);
     bytes = wire::encode(kind, cfg_.codec, sender, round, data, n);
   }
   if (encoded_bytes != nullptr) {
@@ -201,7 +207,7 @@ std::vector<float> Federation::wire_round_trip(
   }
   wire::Envelope env;
   {
-    obs::SpanScope span(decode_span_name(cfg_.codec), n);
+    obs::SpanScope span(decode_span_name(cfg_.codec), n, sender);
     const wire::DecodeStatus status =
         wire::try_decode(bytes.data(), bytes.size(), env);
     if (status != wire::DecodeStatus::kOk) {
@@ -279,9 +285,13 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
                                 std::vector<float>& params,
                                 std::uint64_t upload_floats,
                                 std::vector<std::uint8_t>* encoded_out) {
-  OBS_SPAN_ARG("fault.deliver", client);
+  OBS_SPAN_ARG2("fault.deliver", client, round);
   if (encoded_out != nullptr) encoded_out->clear();
   const wire::CodecId codec = cfg_.codec;
+  // Validator reasons map onto the journal's quarantine codes.
+  const auto quarantine_code = [](const char* why) -> std::uint64_t {
+    return std::string_view(why) == "norm_bound" ? 1 : 0;
+  };
   const char* reject = nullptr;
   if (!faults_.active()) {
     // Fault-free fast path: serialize through the wire once (raw_f32
@@ -290,14 +300,21 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
     if (upload_floats > 0) {
       comm_.upload_envelope(upload_floats,
                             wire::encoded_size(codec, upload_floats));
+      OBS_JOURNAL(round, client, kUpload, upload_floats * 4,
+                  wire::encoded_size(codec, upload_floats) +
+                      wire::kHeaderSize);
     }
     params = wire_round_trip(wire::MessageKind::kUpdatePush, params.data(),
                              params.size(), client, round, nullptr,
                              encoded_out);
     reject = validator_.check(params);
-    if (reject == nullptr) return true;
+    if (reject == nullptr) {
+      OBS_JOURNAL(round, client, kDelivered);
+      return true;
+    }
     if (encoded_out != nullptr) encoded_out->clear();
     OBS_COUNTER_ADD("fault.rejected_updates", 1);
+    OBS_JOURNAL(round, client, kQuarantine, quarantine_code(reject));
     FC_LOG_WARN << "client " << client << " round " << round
                 << ": update quarantined (" << reject << ")";
     return false;
@@ -309,6 +326,7 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
     // Compute spent, update lost before any byte moved.
     OBS_COUNTER_ADD("fault.injected.post_train_crash", 1);
     OBS_COUNTER_ADD("fault.lost_updates", 1);
+    OBS_JOURNAL(round, client, kCrash);
     return false;
   }
 
@@ -316,7 +334,12 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
   // 1.0; stragglers stretch it; every retransmission adds exponential
   // backoff. Wall-clock never enters, so the schedule is thread-invariant.
   double sim_time = d.straggler ? d.delay_factor : 1.0;
-  if (d.straggler) OBS_COUNTER_ADD("fault.injected.straggler", 1);
+  if (d.straggler) {
+    OBS_COUNTER_ADD("fault.injected.straggler", 1);
+    OBS_JOURNAL(round, client, kStraggler,
+                static_cast<std::uint64_t>(std::llround(d.delay_factor *
+                                                        1000.0)));
+  }
 
   // Bounded retry-with-backoff: every attempt (including failed ones) puts
   // an encoded envelope on the wire.
@@ -327,10 +350,17 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
     comm_.upload_envelope(upload_floats,
                           wire::encoded_size(codec, upload_floats),
                           transmissions);
+    // Journaled bytes are totals across every transmission attempt —
+    // exactly what CommTracker bills.
+    OBS_JOURNAL(round, client, kUpload, upload_floats * 4 * transmissions,
+                (wire::encoded_size(codec, upload_floats) +
+                 wire::kHeaderSize) *
+                    transmissions);
   }
   if (transmissions > 1) {
     OBS_COUNTER_ADD("fault.injected.comm_transient", d.transient_failures);
     OBS_COUNTER_ADD("fault.retries", transmissions - 1);
+    OBS_JOURNAL(round, client, kRetry, transmissions - 1);
     for (std::size_t i = 1; i < transmissions; ++i) {
       sim_time += 0.25 * static_cast<double>(1ULL << (i - 1));
     }
@@ -339,6 +369,7 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
   if (!comm_ok) {
     OBS_COUNTER_ADD("fault.comm_failed", 1);
     OBS_COUNTER_ADD("fault.lost_updates", 1);
+    OBS_JOURNAL(round, client, kCommFailed, transmissions);
     return false;
   }
 
@@ -347,6 +378,8 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
   if (plan.round_deadline > 0.0 && sim_time > plan.round_deadline) {
     OBS_COUNTER_ADD("fault.deadline_missed", 1);
     OBS_COUNTER_ADD("fault.lost_updates", 1);
+    OBS_JOURNAL(round, client, kDeadlineMissed,
+                static_cast<std::uint64_t>(std::llround(sim_time * 1000.0)));
     return false;
   }
 
@@ -361,7 +394,7 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
 
   std::vector<std::uint8_t> bytes;
   {
-    obs::SpanScope span(encode_span_name(codec), params.size());
+    obs::SpanScope span(encode_span_name(codec), params.size(), client);
     bytes = wire::encode(wire::MessageKind::kUpdatePush, codec, client, round,
                          params.data(), params.size());
   }
@@ -376,7 +409,7 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
   wire::Envelope env;
   wire::DecodeStatus status;
   {
-    obs::SpanScope span(decode_span_name(codec), params.size());
+    obs::SpanScope span(decode_span_name(codec), params.size(), client);
     status = wire::try_decode(bytes.data(), bytes.size(), env);
   }
   if (status != wire::DecodeStatus::kOk) {
@@ -384,6 +417,7 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
     // is rejected before any payload byte reaches a codec or a reduction.
     OBS_COUNTER_ADD("fault.checksum_rejects", 1);
     OBS_COUNTER_ADD("fault.lost_updates", 1);
+    OBS_JOURNAL(round, client, kChecksumReject);
     FC_LOG_DEBUG << "client " << client << " round " << round
                  << ": envelope rejected (" << wire::decode_status_name(status)
                  << ")";
@@ -395,6 +429,7 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
   reject = validator_.check(params);
   if (reject != nullptr) {
     OBS_COUNTER_ADD("fault.rejected_updates", 1);
+    OBS_JOURNAL(round, client, kQuarantine, quarantine_code(reject));
     FC_LOG_DEBUG << "client " << client << " round " << round
                  << ": update quarantined (" << reject << ")";
     return false;
@@ -404,6 +439,7 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
     // validator-clean): exactly what int8 aggregation may consume.
     encoded_out->assign(bytes.begin() + wire::kHeaderSize, bytes.end());
   }
+  OBS_JOURNAL(round, client, kDelivered);
   return true;
 }
 
@@ -435,6 +471,14 @@ std::vector<double> Federation::local_accuracy_distribution(
         OBS_SPAN_ARG("client.eval", i);
         ws.set_flat_params(params_of(i));
         accs[i] = clients_[i].evaluate(ws);
+        // Eval sweeps don't carry a round index; the run loop sets the
+        // round context around evaluate_all, so out-of-band sweeps journal
+        // nothing. Micro-units keep the row integer-only.
+        if (obs::EventJournal::enabled()) {
+          obs::EventJournal::instance().record_in_context(
+              i, obs::JournalEvent::kEval,
+              static_cast<std::uint64_t>(std::llround(accs[i] * 1e6)));
+        }
       });
   return accs;
 }

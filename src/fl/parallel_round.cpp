@@ -1,9 +1,11 @@
 #include "fl/parallel_round.h"
 
 #include "fl/codec.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace fedclust::fl {
 
@@ -37,8 +39,12 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
   std::vector<RoundTrainResult> results(clients.size());
   for_each_client(clients, [&](std::size_t idx, std::size_t c,
                                nn::Model& ws) {
-    OBS_SPAN_ARG("client.train", c);
     const RoundTrainJob job = job_of(idx, c);
+    // v = client, v2 = round: Perfetto filters train spans per client AND
+    // per round. The job is fetched first so the round is in hand; job_of
+    // is a pure field copy, so the span still covers all real work.
+    OBS_SPAN_ARG2("client.train", c, job.round);
+    const bool journal_on = obs::EventJournal::enabled();
     if (job.download_floats > 0) {
       // The model pull travels the wire: the client trains from what the
       // codec round-trips (bit-exact for raw_f32), and the tracker bills
@@ -46,12 +52,42 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
       // SCAFFOLD's control variate) are billed as a second envelope.
       ws.set_flat_params(
           fed_.pull_model(*job.start, job.round, job.download_floats));
+      if (journal_on) {
+        // Mirror CommTracker's billing exactly: one envelope for the model
+        // itself, one more for any extra floats (control variates).
+        const wire::CodecId codec = fed_.cfg().codec;
+        const std::uint64_t base_n = job.start->size();
+        std::uint64_t wire_bytes =
+            wire::encoded_size(codec, base_n) + wire::kHeaderSize;
+        if (job.download_floats > base_n) {
+          wire_bytes += wire::encoded_size(codec, job.download_floats -
+                                                      base_n) +
+                        wire::kHeaderSize;
+        }
+        OBS_JOURNAL(job.round, c, kDownload, job.download_floats * 4,
+                    wire_bytes);
+      }
     } else {
       ws.set_flat_params(*job.start);
+    }
+    // Train wall time is journal-only telemetry; the clock is read only
+    // when a journal is open (and recorded as 0 with the wall clock off,
+    // keeping the determinism test's files bit-identical).
+    std::int64_t train_t0 = 0;
+    if (journal_on && obs::EventJournal::wall_clock()) {
+      train_t0 = util::process_elapsed_micros();
     }
     const float loss = fed_.client(c).train(
         ws, job.opts, job.rng, job.prox_ref,
         job.grad_offset ? &*job.grad_offset : nullptr);
+    if (journal_on) {
+      const std::uint64_t train_us =
+          obs::EventJournal::wall_clock()
+              ? static_cast<std::uint64_t>(util::process_elapsed_micros() -
+                                           train_t0)
+              : 0;
+      OBS_JOURNAL(job.round, c, kTrain, train_us);
+    }
     results[idx].client = c;
     results[idx].params = ws.flat_params();
     results[idx].weight = static_cast<double>(fed_.client(c).n_train());

@@ -364,13 +364,17 @@ std::string snapshot_filename(std::uint64_t next_round) {
 
 // ---- manifest --------------------------------------------------------
 
+std::string build_git_describe() {
+#ifdef FEDCLUST_GIT_DESCRIBE
+  return FEDCLUST_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
 std::string manifest_json(const ExperimentConfig& cfg,
                           const std::string& method) {
-#ifdef FEDCLUST_GIT_DESCRIBE
-  const std::string git_describe = FEDCLUST_GIT_DESCRIBE;
-#else
-  const std::string git_describe = "unknown";
-#endif
+  const std::string git_describe = build_git_describe();
 #ifdef FEDCLUST_BUILD_FLAGS
   const std::string build_flags = FEDCLUST_BUILD_FLAGS;
 #else

@@ -128,6 +128,12 @@ struct CheckpointPolicy {
 // everything needed to reconstruct the command that produced the
 // snapshots next to it.
 
+// `git describe --tags --always --dirty` of the checkout that built this
+// binary, or "unknown" when the build ran outside a git checkout. Baked
+// into snapshot.cpp only (see src/fl/CMakeLists.txt), so other TUs don't
+// recompile when the commit changes.
+std::string build_git_describe();
+
 std::string manifest_json(const ExperimentConfig& cfg,
                           const std::string& method);
 void write_manifest(const ExperimentConfig& cfg, const std::string& method,

@@ -1,0 +1,55 @@
+#pragma once
+
+// obs::json — a minimal recursive-descent JSON reader for the post-run
+// analysis tools (fedclust_report ingests journal JSONL, metrics JSONL,
+// and Chrome trace JSON). Lives in src/obs/ because the observability
+// library sits below fedclust_util in the layering and the report builder
+// (obs/report.h) needs it.
+//
+// Scope: full JSON values (null/bool/number/string/array/object) with
+// standard escapes; numbers parse as double (the journal's uint64 fields
+// are all well inside the 2^53 exact-integer range). Object keys keep
+// their source order. Not a streaming parser — inputs are whole files of
+// run-report size.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fedclust::obs::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // source order
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+
+  // Convenience accessors with defaults (returned when the key is absent
+  // or of the wrong kind).
+  double number_or(const std::string& key, double def) const;
+  std::string string_or(const std::string& key,
+                        const std::string& def) const;
+};
+
+// Parses one JSON document; throws std::runtime_error with a byte offset
+// on malformed input. Trailing whitespace is allowed, trailing garbage is
+// not.
+Value parse(const std::string& text);
+
+// Parses JSONL: one document per non-empty line. Throws like parse(),
+// naming the offending line.
+std::vector<Value> parse_lines(const std::string& text);
+
+}  // namespace fedclust::obs::json

@@ -76,13 +76,24 @@ Histogram::Snapshot Histogram::snapshot() const {
 
 double Histogram::Snapshot::quantile(double q) const {
   if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
   const double target = q * static_cast<double>(count);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double lo_rank = static_cast<double>(seen);
     seen += counts[i];
-    if (static_cast<double>(seen) >= target && counts[i] > 0) {
-      return i < bounds.size() ? bounds[i] : max;
-    }
+    if (static_cast<double>(seen) < target) continue;
+    // Interpolate within the bucket holding rank `target`, assuming its
+    // mass is uniform between the bucket edges. The open-ended edge
+    // buckets use the observed min/max as their missing edge, and both
+    // edges clamp to [min, max] so the estimate never leaves the data.
+    double lo = i == 0 ? min : std::max(bounds[i - 1], min);
+    double hi = i < bounds.size() ? std::min(bounds[i], max) : max;
+    if (hi < lo) hi = lo;
+    const double frac = (target - lo_rank) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * frac;
   }
   return max;
 }
@@ -266,6 +277,15 @@ void MetricsRegistry::log_round(
     os << (first ? "" : ",") << "\"" << name << "\":" << g->value();
     first = false;
   }
+  for (const auto& [name, h] : s.histograms) {
+    const Histogram::Snapshot hs = h->snapshot();
+    if (hs.count == 0) continue;
+    os << (first ? "" : ",") << "\"" << name << ".p50\":"
+       << fmt(hs.quantile(0.5)) << ",\"" << name << ".p95\":"
+       << fmt(hs.quantile(0.95)) << ",\"" << name << ".p99\":"
+       << fmt(hs.quantile(0.99));
+    first = false;
+  }
   os << "}";
   *s.round_log << os.str() << "\n";
   s.round_log->flush();
@@ -296,9 +316,9 @@ std::string MetricsRegistry::summary_table() const {
   }
   for (const auto& [n, h] : snap.histograms) {
     os << pad(n) << "count=" << h.count << " mean=" << fmt(h.mean())
-       << " min=" << fmt(h.min) << " p50<=" << fmt(h.quantile(0.5))
-       << " p95<=" << fmt(h.quantile(0.95)) << " max=" << fmt(h.max)
-       << "\n";
+       << " min=" << fmt(h.min) << " p50=" << fmt(h.quantile(0.5))
+       << " p95=" << fmt(h.quantile(0.95)) << " p99=" << fmt(h.quantile(0.99))
+       << " max=" << fmt(h.max) << "\n";
   }
   return os.str();
 }

@@ -66,8 +66,9 @@ class Histogram {
     double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
-    // Upper bound of the bucket containing quantile q — a bucket-resolution
-    // approximation (the overflow bucket reports max).
+    // Quantile estimate with linear interpolation inside the bucket that
+    // contains rank q*count, assuming mass is uniform between the bucket's
+    // edges (clamped to the observed [min, max]; q<=0 -> min, q>=1 -> max).
     double quantile(double q) const;
   };
   Snapshot snapshot() const;

@@ -91,11 +91,12 @@ SpanTracer& SpanTracer::instance() {
 }
 
 void SpanTracer::record(const char* name, std::int64_t begin_us,
-                        std::int64_t end_us, std::uint64_t arg,
-                        bool has_arg) {
+                        std::int64_t end_us, std::uint64_t arg, bool has_arg,
+                        std::uint64_t arg2, bool has_arg2) {
   ThreadBuffer& buf = local_buffer();
   const std::uint64_t h = buf.head.load(std::memory_order_relaxed);
-  buf.ring[h % kRingCapacity] = {name, begin_us, end_us, arg, has_arg};
+  buf.ring[h % kRingCapacity] = {name,     begin_us, end_us,  arg,
+                                 arg2,     has_arg,  has_arg2};
   buf.head.store(h + 1, std::memory_order_relaxed);
 }
 
@@ -160,7 +161,11 @@ std::string SpanTracer::chrome_trace_json() const {
       os << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << te.tid << ",\"name\":\""
          << json_escape(ev.name) << "\",\"ts\":" << ev.begin_us
          << ",\"dur\":" << (dur > 0 ? dur : 0);
-      if (ev.has_arg) os << ",\"args\":{\"v\":" << ev.arg << "}";
+      if (ev.has_arg) {
+        os << ",\"args\":{\"v\":" << ev.arg;
+        if (ev.has_arg2) os << ",\"v2\":" << ev.arg2;
+        os << "}";
+      }
       os << "}";
     }
     if (te.dropped > 0) {

@@ -39,8 +39,11 @@ struct SpanEvent {
   const char* name = nullptr;
   std::int64_t begin_us = 0;  // microseconds since util::process_epoch()
   std::int64_t end_us = 0;
-  std::uint64_t arg = 0;  // site-defined payload (client id, round, mnk)
+  std::uint64_t arg = 0;   // site-defined payload (client id, round, mnk)
+  std::uint64_t arg2 = 0;  // second payload (round for client.* spans), so
+                           // Perfetto can filter spans per client AND round
   bool has_arg = false;
+  bool has_arg2 = false;
 };
 
 class SpanTracer {
@@ -58,7 +61,12 @@ class SpanTracer {
   // first use). Called by SpanScope's destructor; lock-free after
   // registration.
   void record(const char* name, std::int64_t begin_us, std::int64_t end_us,
-              std::uint64_t arg, bool has_arg);
+              std::uint64_t arg, bool has_arg) {
+    record(name, begin_us, end_us, arg, has_arg, 0, false);
+  }
+  void record(const char* name, std::int64_t begin_us, std::int64_t end_us,
+              std::uint64_t arg, bool has_arg, std::uint64_t arg2,
+              bool has_arg2);
 
   // Names the calling thread in the exported trace ("pool-worker-3");
   // threads that never call it appear as "thread-<tid>".
@@ -119,11 +127,20 @@ class SpanScope {
     arg_ = arg;
     has_arg_ = true;
   }
+  SpanScope(const char* name, std::uint64_t arg, std::uint64_t arg2) {
+    if (!SpanTracer::enabled()) return;
+    name_ = name;
+    begin_us_ = util::process_elapsed_micros();
+    arg_ = arg;
+    has_arg_ = true;
+    arg2_ = arg2;
+    has_arg2_ = true;
+  }
   ~SpanScope() {
     if (name_ == nullptr) return;
     SpanTracer::instance().record(name_, begin_us_,
                                   util::process_elapsed_micros(), arg_,
-                                  has_arg_);
+                                  has_arg_, arg2_, has_arg2_);
   }
 
   SpanScope(const SpanScope&) = delete;
@@ -133,7 +150,9 @@ class SpanScope {
   const char* name_ = nullptr;
   std::int64_t begin_us_ = 0;
   std::uint64_t arg_ = 0;
+  std::uint64_t arg2_ = 0;
   bool has_arg_ = false;
+  bool has_arg2_ = false;
 };
 
 }  // namespace fedclust::obs
@@ -150,3 +169,10 @@ class SpanScope {
   ::fedclust::obs::SpanScope FEDCLUST_OBS_CONCAT(obs_span_,         \
                                                  __COUNTER__)(      \
       name, static_cast<std::uint64_t>(arg))
+// Two payloads ("v"/"v2" in the args panel) — client.* spans carry
+// (client, round) so traces filter per client and per round.
+#define OBS_SPAN_ARG2(name, arg, arg2)                              \
+  ::fedclust::obs::SpanScope FEDCLUST_OBS_CONCAT(obs_span_,         \
+                                                 __COUNTER__)(      \
+      name, static_cast<std::uint64_t>(arg),                        \
+      static_cast<std::uint64_t>(arg2))

@@ -7,11 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "core/registry.h"
 #include "fl/federation.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -69,12 +71,17 @@ void expect_identical(const RunResult& a, const RunResult& b) {
 // observability-off default afterwards.
 class ObsInvariance : public ::testing::TestWithParam<std::string> {
  protected:
-  void SetUp() override { prev_threads_ = util::global_pool().size() + 1; }
+  void SetUp() override {
+    prev_threads_ = util::global_pool().size() + 1;
+    journal_path_ = ::testing::TempDir() + "obs_invariance_journal.jsonl";
+  }
   void TearDown() override {
     obs::SpanTracer::instance().set_enabled(false);
     obs::SpanTracer::instance().clear();
     obs::MetricsRegistry::instance().set_enabled(false);
     obs::MetricsRegistry::instance().reset_values();
+    obs::EventJournal::instance().close();
+    std::remove(journal_path_.c_str());
     util::reset_global_pool(prev_threads_);
   }
 
@@ -83,6 +90,10 @@ class ObsInvariance : public ::testing::TestWithParam<std::string> {
     obs::SpanTracer::instance().set_enabled(obs_on);
     obs::MetricsRegistry::instance().reset_values();
     obs::MetricsRegistry::instance().set_enabled(obs_on);
+    // The journal shares the zero-perturbation obligation, so the "obs on"
+    // runs record it too: if journaling shifted one result bit, these
+    // comparisons would catch it.
+    if (obs_on) obs::EventJournal::instance().open(journal_path_);
     util::reset_global_pool(threads);
     fl::Federation fed(cfg_for(99));
     RunResult res;
@@ -98,6 +109,7 @@ class ObsInvariance : public ::testing::TestWithParam<std::string> {
                     "comm.bytes_up"),
                 res.bytes_up);
     }
+    obs::EventJournal::instance().close();
     obs::SpanTracer::instance().set_enabled(false);
     obs::SpanTracer::instance().clear();
     obs::MetricsRegistry::instance().set_enabled(false);
@@ -106,6 +118,7 @@ class ObsInvariance : public ::testing::TestWithParam<std::string> {
 
  private:
   std::size_t prev_threads_ = 1;
+  std::string journal_path_;
 };
 
 TEST_P(ObsInvariance, ObservabilityOnEqualsOffSequential) {

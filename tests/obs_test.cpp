@@ -268,7 +268,35 @@ TEST(Metrics, CounterGaugeHistogramBasics) {
   EXPECT_EQ(hs.counts[0], 1u);
   EXPECT_EQ(hs.counts[1], 1u);
   EXPECT_EQ(hs.counts[2], 1u);  // overflow bucket
-  EXPECT_DOUBLE_EQ(hs.quantile(0.5), 10.0);  // bucket upper bound
+  // Rank 1.5 of 3 lands in the (1, 10] bucket; linear interpolation puts
+  // the median halfway through it.
+  EXPECT_DOUBLE_EQ(hs.quantile(0.5), 5.5);
+}
+
+TEST(Metrics, QuantileInterpolatesKnownDistribution) {
+  const ObsOn on;
+  // 1..100 into decade buckets: every interpolated quantile is exact.
+  obs::Histogram h({10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0,
+                    100.0});
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  const auto hs = h.snapshot();
+  EXPECT_DOUBLE_EQ(hs.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(hs.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(hs.quantile(0.99), 99.0);
+  // Edges clamp to the observed extremes rather than the bucket bounds.
+  EXPECT_DOUBLE_EQ(hs.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(hs.quantile(1.0), 100.0);
+}
+
+TEST(Metrics, QuantileOverflowBucketStaysWithinObservedRange) {
+  const ObsOn on;
+  obs::Histogram h({1.0});
+  h.observe(5.0);
+  h.observe(7.0);
+  // Both observations sit in the overflow bucket, whose only known edge is
+  // the observed max; estimates never leave [min, max].
+  EXPECT_LE(h.snapshot().quantile(0.5), 7.0);
+  EXPECT_GE(h.snapshot().quantile(0.5), 1.0);
 }
 
 TEST(Metrics, KindCollisionThrows) {

@@ -1,26 +1,30 @@
 #!/usr/bin/env bash
 # Docs-consistency check (run by tier1.sh after the release build):
-#   1. every --flag in `fedclust_sim --help` is documented somewhere in
-#      README.md / EXPERIMENTS.md / docs/*.md, and every --flag those
-#      files mention exists in --help (minus known non-sim flags);
+#   1. every --flag in `fedclust_sim --help` and `fedclust_report --help`
+#      is documented somewhere in README.md / EXPERIMENTS.md / docs/*.md,
+#      and every --flag those files mention exists in one of the two
+#      --helps (minus known non-CLI flags);
 #   2. every relative markdown link in docs/*.md points at a real file;
 #   3. every `path:line` anchor in docs/*.md names a real file and a
 #      line that exists.
-# Usage: tools/check_docs.sh [path/to/fedclust_sim]
+# Usage: tools/check_docs.sh [path/to/fedclust_sim] [path/to/fedclust_report]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 sim="${1:-build/tools/fedclust_sim}"
+report="${2:-build/tools/fedclust_report}"
 [ -x "$sim" ] || { echo "check_docs: $sim not built" >&2; exit 1; }
+[ -x "$report" ] || { echo "check_docs: $report not built" >&2; exit 1; }
 
 doc_files=(README.md EXPERIMENTS.md docs/*.md)
 fail=0
 
 # Flags that appear in the docs but belong to cmake/ctest/benchmark
-# invocations, not to fedclust_sim.
+# invocations, not to fedclust_sim / fedclust_report.
 ignore='^(benchmark_filter|build|extras|preset|test-dir|output-on-failure|help)$'
 
-help_flags=$("$sim" --help | grep -oE '^  --[a-zA-Z][a-zA-Z0-9_-]*' |
+help_flags=$({ "$sim" --help; "$report" --help; } |
+             grep -oE '^  --[a-zA-Z][a-zA-Z0-9_-]*' |
              sed 's/^  --//' | sort -u)
 doc_flags=$(grep -ohE '\-\-[a-zA-Z][a-zA-Z0-9_-]*' "${doc_files[@]}" |
             sed 's/^--//' | sort -u)

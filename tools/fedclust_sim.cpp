@@ -11,6 +11,7 @@
 
 #include "core/registry.h"
 #include "fl/snapshot.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/config.h"
@@ -70,6 +71,10 @@ int main(int argc, char** argv) {
     args.add_option("metrics-out",
                     "per-round metrics JSONL path (empty = metrics off)",
                     util::env_string("FEDCLUST_METRICS", ""));
+    args.add_option("journal-out",
+                    "per-(round, client) event journal JSONL path — the "
+                    "input to fedclust_report (empty = journal off)",
+                    util::env_string("FEDCLUST_JOURNAL", ""));
     args.add_option("progress", "per-round INFO progress lines (1|0)", "1");
     args.add_option("fast-math-kernels",
                     "FMA-contracted SIMD kernels + int8-domain qint8 "
@@ -105,6 +110,10 @@ int main(int argc, char** argv) {
       obs::MetricsRegistry::instance().set_enabled(true);
       obs::MetricsRegistry::instance().open_round_log(metrics_out);
     }
+    const std::string journal_out = args.str("journal-out");
+    if (!journal_out.empty()) {
+      obs::EventJournal::instance().open(journal_out);
+    }
 
     fl::ExperimentConfig cfg;
     cfg.data_spec = data::dataset_spec(args.str("dataset"));
@@ -126,6 +135,10 @@ int main(int argc, char** argv) {
     cfg.rounds = static_cast<std::size_t>(args.integer("rounds"));
     cfg.sample_fraction = args.real("sample");
     cfg.codec = fl::wire::codec_from_string(args.str("codec"));
+    if (!journal_out.empty()) {
+      obs::EventJournal::instance().set_codec_name(
+          fl::wire::codec_name(cfg.codec));
+    }
     cfg.dropout_prob = args.real("dropout");
     cfg.fault = fl::FaultPlan::parse(args.str("fault-spec"));
     cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
@@ -214,6 +227,10 @@ int main(int argc, char** argv) {
       obs::MetricsRegistry::instance().close_round_log();
       std::cout << obs::MetricsRegistry::instance().summary_table()
                 << "metrics written to " << metrics_out << "\n";
+    }
+    if (!journal_out.empty()) {
+      obs::EventJournal::instance().close();
+      std::cout << "journal written to " << journal_out << "\n";
     }
     return 0;
   } catch (const std::exception& e) {

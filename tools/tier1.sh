@@ -3,9 +3,10 @@
 # tests (thread pool + parallel round executor + obs stress) rebuilt and
 # re-run under ThreadSanitizer, then the fault/wire/snapshot tests rebuilt
 # and re-run under Address+UBSanitizer, then simulator CLI smokes:
-# observability, fault injection, wire codecs, docs consistency
-# (check_docs.sh), kill-and-resume, and SIMD dispatch (scalar vs native
-# ISA bit-identity). Run from the repository root.
+# observability, fault injection, wire codecs, the event journal +
+# fedclust_report regression gate, docs consistency (check_docs.sh),
+# kill-and-resume, and SIMD dispatch (scalar vs native ISA bit-identity).
+# Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -89,9 +90,62 @@ EOF
 fi
 echo "codec smoke ok"
 
-# Docs consistency: every fedclust_sim flag documented and vice versa,
-# relative links and file:line anchors in docs/ resolve.
-tools/check_docs.sh build/tools/fedclust_sim
+# Journal + report smoke: a journaled run must leave a JSONL that
+# fedclust_report can ingest into JSON + markdown reports; self-compare
+# must be clean (exit 0) and a deliberately fatter run (raw_f32 against a
+# qint8 baseline, ~4x the wire bytes) must trip the --compare regression
+# gate with exit status 2.
+report_dir=build/report_smoke
+rm -rf "$report_dir" && mkdir -p "$report_dir"
+report_flags=(--method=FedClust --clients=8 --rounds=3 --train=6 --test=4
+              --sample=0.5 --seed=5)
+./build/tools/fedclust_sim "${report_flags[@]}" --codec=qint8 \
+    --journal-out="$report_dir/base.journal.jsonl" \
+    --metrics-out="$report_dir/base.metrics.jsonl" \
+    --trace-out="$report_dir/base.trace.json" >/dev/null
+[ -s "$report_dir/base.journal.jsonl" ] ||
+  { echo "report smoke: journal missing or empty" >&2; exit 1; }
+grep -q '"journal":1' "$report_dir/base.journal.jsonl"
+grep -q '"ev":"sampled"' "$report_dir/base.journal.jsonl"
+grep -q '"ev":"upload"' "$report_dir/base.journal.jsonl"
+./build/tools/fedclust_report \
+    --journal="$report_dir/base.journal.jsonl" \
+    --metrics="$report_dir/base.metrics.jsonl" \
+    --trace="$report_dir/base.trace.json" \
+    --json-out="$report_dir/base.report.json" \
+    --md-out="$report_dir/base.report.md" >/dev/null
+grep -q '"report_version":1' "$report_dir/base.report.json"
+grep -q '# fedclust run report' "$report_dir/base.report.md"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$report_dir" <<'EOF'
+import json, sys
+rep = json.load(open(f"{sys.argv[1]}/base.report.json"))
+assert rep["rounds"] == 3, "report smoke: wrong round count"
+assert rep["totals"]["upload_wire_bytes"] > 0, "report smoke: no wire bytes"
+assert rep["per_round"], "report smoke: per_round empty"
+EOF
+fi
+./build/tools/fedclust_report \
+    --journal="$report_dir/base.journal.jsonl" \
+    --metrics="$report_dir/base.metrics.jsonl" \
+    --compare="$report_dir/base.report.json" >/dev/null ||
+  { echo "report smoke: self-compare flagged a regression" >&2; exit 1; }
+./build/tools/fedclust_sim "${report_flags[@]}" --codec=raw_f32 \
+    --journal-out="$report_dir/fat.journal.jsonl" >/dev/null
+rc=0
+./build/tools/fedclust_report \
+    --journal="$report_dir/fat.journal.jsonl" \
+    --compare="$report_dir/base.report.json" \
+    >/dev/null 2>"$report_dir/compare.err" || rc=$?
+[ "$rc" -eq 2 ] ||
+  { echo "report smoke: regression compare exited $rc, want 2" >&2; exit 1; }
+grep -q 'REGRESSION wire_bytes' "$report_dir/compare.err" ||
+  { echo "report smoke: wire-byte regression not flagged" >&2; exit 1; }
+echo "journal+report smoke ok"
+
+# Docs consistency: every fedclust_sim / fedclust_report flag documented
+# and vice versa, relative links and file:line anchors in docs/ resolve.
+tools/check_docs.sh build/tools/fedclust_sim build/tools/fedclust_report
 
 # Kill-and-resume smoke: checkpoint at round 2, halt (the deterministic
 # stand-in for a kill), resume, and require the per-round trace CSV and
