@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/signal.h"
 #include "util/timer.h"
 
 namespace fedclust::fl {
@@ -192,6 +193,22 @@ Trace FlAlgorithm::run() {
       FC_LOG_INFO << name() << "/" << trace.dataset
                   << " halting after boundary " << boundary
                   << " (checkpoint halt_after)";
+      break;
+    }
+    // Graceful SIGINT/SIGTERM: the in-flight round (and its eval) just
+    // finished, so stop at this boundary with a final snapshot — the run
+    // resumes from here instead of being lost. Only boundaries that did
+    // not already write one above get the extra snapshot.
+    if (util::shutdown_requested() && boundary < rounds) {
+      if (!checkpoint_.dir.empty() && !(on_grid || at_halt)) {
+        OBS_SPAN_ARG("fl.checkpoint", boundary);
+        write_snapshot(capture_snapshot(boundary, trace.records),
+                       checkpoint_.dir + "/" + snapshot_filename(boundary));
+        OBS_COUNTER_ADD("fl.checkpoints", 1);
+      }
+      FC_LOG_INFO << name() << "/" << trace.dataset
+                  << " stopping at boundary " << boundary
+                  << " (shutdown requested)";
       break;
     }
   }

@@ -78,6 +78,16 @@ void FaultPlan::validate() const {
         "FaultPlan.max_update_norm must be >= 0, got " +
         std::to_string(max_update_norm));
   }
+  if (!(backoff_base > 0.0) || !std::isfinite(backoff_base)) {
+    throw std::invalid_argument(
+        "FaultPlan.backoff_base must be finite and > 0, got " +
+        std::to_string(backoff_base));
+  }
+  if (!(backoff_mult >= 1.0) || !std::isfinite(backoff_mult)) {
+    throw std::invalid_argument(
+        "FaultPlan.backoff_mult must be finite and >= 1, got " +
+        std::to_string(backoff_mult));
+  }
   if (corrupt_mode != "nan" && corrupt_mode != "inf" &&
       corrupt_mode != "explode" && corrupt_mode != "bitflip" &&
       corrupt_mode != "mix") {
@@ -129,6 +139,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
             value);
       }
       plan.max_retries = static_cast<std::size_t>(v);
+    } else if (key == "backoff_base") {
+      plan.backoff_base = parse_double(key, value);
+    } else if (key == "backoff_mult") {
+      plan.backoff_mult = parse_double(key, value);
     } else if (key == "over_select") {
       plan.over_select_fraction = parse_double(key, value);
     } else if (key == "max_norm") {
@@ -146,8 +160,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       throw std::invalid_argument(
           "FaultPlan: unknown key '" + key +
           "' (valid: dropout, crash, straggle, delay, comm, corrupt, "
-          "corrupt_mode, explode, deadline, retries, over_select, max_norm, "
-          "only)");
+          "corrupt_mode, explode, deadline, retries, backoff_base, "
+          "backoff_mult, over_select, max_norm, only)");
     }
   }
   plan.validate();
@@ -170,6 +184,8 @@ std::string FaultPlan::describe() const {
   }
   field("deadline", round_deadline, 0.0);
   field("retries", static_cast<double>(max_retries), 2.0);
+  field("backoff_base", backoff_base, 0.25);
+  field("backoff_mult", backoff_mult, 2.0);
   field("over_select", over_select_fraction, 0.0);
   field("max_norm", max_update_norm, 0.0);
   if (!only_clients.empty()) {

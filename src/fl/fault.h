@@ -59,6 +59,12 @@ struct FaultPlan {
   // deadline: stragglers are waited out and only shift metrics.
   double round_deadline = 0.0;
   std::size_t max_retries = 2;       // upload retransmissions before giving up
+  // Retry backoff schedule, shared between the simulated comm faults
+  // (Federation::deliver_update's sim-time accounting) and the real
+  // transport's reconnect/resend policy (net::BackoffPolicy): the delay
+  // before retransmission i (1-based) is backoff_base * backoff_mult^(i-1).
+  double backoff_base = 0.25;        // seconds (sim: normalized time units)
+  double backoff_mult = 2.0;         // >= 1
   double over_select_fraction = 0.0; // sample ceil(k * (1 + f)) clients to
                                      // hedge expected dropouts
   double max_update_norm = 0.0;      // L2 bound for the validator; 0 = off
@@ -77,8 +83,9 @@ struct FaultPlan {
   void validate() const;
   // Parses "key=value,key=value" (e.g. "crash=0.1,straggle=0.3,delay=4,
   // deadline=2.5,corrupt=0.05,corrupt_mode=nan,comm=0.2,retries=3,
-  // dropout=0.1,over_select=0.5,max_norm=500,only=0:3:7"). An empty spec
-  // yields a disabled plan; unknown keys throw.
+  // backoff_base=0.5,backoff_mult=1.5,dropout=0.1,over_select=0.5,
+  // max_norm=500,only=0:3:7"). An empty spec yields a disabled plan;
+  // unknown keys throw.
   static FaultPlan parse(const std::string& spec);
   // Compact "key=value ..." rendering of the non-default fields.
   std::string describe() const;

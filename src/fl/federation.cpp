@@ -361,8 +361,15 @@ bool Federation::deliver_update(std::size_t client, std::size_t round,
     OBS_COUNTER_ADD("fault.injected.comm_transient", d.transient_failures);
     OBS_COUNTER_ADD("fault.retries", transmissions - 1);
     OBS_JOURNAL(round, client, kRetry, transmissions - 1);
+    // Exponential backoff between retransmissions; the schedule knobs come
+    // from the fault plan and are shared with the socket transport's
+    // net::BackoffPolicy, so simulated and real retries follow one
+    // definition. Defaults (0.25, x2) reproduce the historical schedule
+    // bit for bit: 0.25, 0.5, 1.0, ...
+    double backoff = plan.backoff_base;
     for (std::size_t i = 1; i < transmissions; ++i) {
-      sim_time += 0.25 * static_cast<double>(1ULL << (i - 1));
+      sim_time += backoff;
+      backoff *= plan.backoff_mult;
     }
   }
   OBS_HISTOGRAM_OBSERVE("fault.sim_round_time", sim_time);

@@ -21,6 +21,8 @@
 
 namespace fedclust::fl {
 
+class Transport;  // fl/transport.h — where local training executes
+
 // Per-algorithm hyperparameters (paper §5.1 "Hyperparameters Settings",
 // re-tuned where the reduced scale demands it; see EXPERIMENTS.md).
 struct AlgoOptions {
@@ -216,6 +218,15 @@ class Federation {
   void bill_download(std::uint64_t n_floats, std::uint64_t messages = 1);
   void bill_upload(std::uint64_t n_floats, std::uint64_t messages = 1);
 
+  // Where train_clients executes local training: nullptr (the default) or
+  // a transport with remote() == false keeps the unchanged in-process path;
+  // a remote transport (net::ServerTransport) delegates the computation to
+  // worker processes. Not owned; the caller keeps it alive for the run.
+  // Deliberately excluded from config_fingerprint: the transport must not
+  // change the trajectory (the bit-identity contract in docs/TRANSPORT.md).
+  void set_transport(Transport* t) { transport_ = t; }
+  Transport* transport() const { return transport_; }
+
   // Deterministic RNG stream for (client, round) local training. Thread-safe:
   // splitting is a pure function of (seed, client, round), so concurrent
   // workers can derive their streams without synchronization.
@@ -245,6 +256,7 @@ class Federation {
                                          nullptr) const;
 
   ExperimentConfig cfg_;
+  Transport* transport_ = nullptr;
   FaultEngine faults_;
   UpdateValidator validator_;
   std::vector<SimClient> clients_;

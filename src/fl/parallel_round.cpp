@@ -1,6 +1,7 @@
 #include "fl/parallel_round.h"
 
 #include "fl/codec.h"
+#include "fl/transport.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -36,6 +37,9 @@ void ParallelRoundRunner::for_each_client(
 std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
     const std::vector<std::size_t>& clients,
     const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of) {
+  if (fed_.transport() != nullptr && fed_.transport()->remote()) {
+    return train_clients_remote(clients, job_of);
+  }
   std::vector<RoundTrainResult> results(clients.size());
   for_each_client(clients, [&](std::size_t idx, std::size_t c,
                                nn::Model& ws) {
@@ -96,6 +100,98 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
         c, job.round, results[idx].params, job.upload_floats,
         fed_.int8_aggregation_active() ? &results[idx].encoded : nullptr);
   });
+  return results;
+}
+
+std::vector<RoundTrainResult> ParallelRoundRunner::train_clients_remote(
+    const std::vector<std::size_t>& clients,
+    const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of) {
+  Transport& net = *fed_.transport();
+  const bool journal_on = obs::EventJournal::enabled();
+  const wire::CodecId codec = fed_.cfg().codec;
+  std::vector<RoundTrainResult> results(clients.size());
+  std::vector<TrainCall> calls(clients.size());
+  std::vector<std::uint64_t> upload_floats(clients.size(), 0);
+
+  // Phase 1 (server): resolve everything stochastic before any byte leaves
+  // the process — pull_model applies the experiment codec and bills the
+  // download exactly like the in-process path, and the RNG stream ships as
+  // serialized state, so the worker replays the identical computation.
+  for (std::size_t idx = 0; idx < clients.size(); ++idx) {
+    const std::size_t c = clients[idx];
+    const RoundTrainJob job = job_of(idx, c);
+    TrainCall& call = calls[idx];
+    call.client = c;
+    call.round = job.round;
+    call.opts = job.opts;
+    call.rng = job.rng.state();
+    if (job.download_floats > 0) {
+      call.start = fed_.pull_model(*job.start, job.round, job.download_floats);
+      if (journal_on) {
+        // Same kDownload mirror as the in-process path (one envelope for
+        // the model, one more for any extra floats riding along).
+        const std::uint64_t base_n = job.start->size();
+        std::uint64_t wire_bytes =
+            wire::encoded_size(codec, base_n) + wire::kHeaderSize;
+        if (job.download_floats > base_n) {
+          wire_bytes += wire::encoded_size(codec, job.download_floats -
+                                                      base_n) +
+                        wire::kHeaderSize;
+        }
+        OBS_JOURNAL(job.round, c, kDownload, job.download_floats * 4,
+                    wire_bytes);
+      }
+    } else {
+      call.start = *job.start;
+    }
+    if (job.prox_ref != nullptr) call.prox_ref = *job.prox_ref;
+    if (job.grad_offset) call.grad_offset = *job.grad_offset;
+    upload_floats[idx] = job.upload_floats;
+  }
+
+  // Phase 2 (transport): workers compute; retries/reassignment happen
+  // inside execute and surface only as outcome metadata.
+  std::vector<TrainOutcome> outcomes;
+  {
+    OBS_SPAN_ARG2("net.execute", clients.size(),
+                  clients.empty() ? 0 : calls.front().round);
+    net.execute(calls, outcomes);
+  }
+
+  // Phase 3 (server): collected parameters enter the same quarantine
+  // chokepoint as locally trained ones. A call the transport lost (worker
+  // crashed, retry budget exhausted) is billed honestly as a comm failure:
+  // no upload bytes (nothing reached the server), fault.lost_updates, and
+  // exclusion from the aggregate — graceful degradation, not silent reuse
+  // of stale parameters.
+  for (std::size_t idx = 0; idx < clients.size(); ++idx) {
+    const std::size_t c = clients[idx];
+    const std::size_t round = calls[idx].round;
+    TrainOutcome& out = outcomes[idx];
+    RoundTrainResult& res = results[idx];
+    res.client = c;
+    res.weight = static_cast<double>(fed_.client(c).n_train());
+    if (out.attempts > 1) {
+      OBS_COUNTER_ADD("fault.retries", out.attempts - 1);
+      OBS_JOURNAL(round, c, kRetry, out.attempts - 1);
+    }
+    if (!out.ok) {
+      OBS_COUNTER_ADD("fault.comm_failed", 1);
+      OBS_COUNTER_ADD("fault.lost_updates", 1);
+      OBS_JOURNAL(round, c, kCommFailed, out.attempts);
+      res.delivered = false;
+      continue;
+    }
+    if (journal_on) {
+      OBS_JOURNAL(round, c, kTrain,
+                  obs::EventJournal::wall_clock() ? out.train_us : 0);
+    }
+    res.params = std::move(out.params);
+    res.loss = out.loss;
+    res.delivered = fed_.deliver_update(
+        c, round, res.params, upload_floats[idx],
+        fed_.int8_aggregation_active() ? &res.encoded : nullptr);
+  }
   return results;
 }
 

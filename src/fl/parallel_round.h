@@ -91,6 +91,13 @@ class ParallelRoundRunner {
       const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of);
 
  private:
+  // Socket-mode variant of train_clients, taken when the federation has a
+  // remote transport installed (see fl/transport.h for the three-phase
+  // split). Produces results bit-identical to the in-process path.
+  std::vector<RoundTrainResult> train_clients_remote(
+      const std::vector<std::size_t>& clients,
+      const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of);
+
   Federation& fed_;
 };
 

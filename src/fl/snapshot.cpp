@@ -112,6 +112,8 @@ std::vector<std::uint8_t> canonical_config_bytes(const ExperimentConfig& c) {
   put_f64_bits(b, c.fault.explode_factor);
   put_f64_bits(b, c.fault.round_deadline);
   util::put_u64_le(b, c.fault.max_retries);
+  put_f64_bits(b, c.fault.backoff_base);
+  put_f64_bits(b, c.fault.backoff_mult);
   put_f64_bits(b, c.fault.over_select_fraction);
   put_f64_bits(b, c.fault.max_update_norm);
   util::put_u64_le(b, c.fault.only_clients.size());

@@ -1,0 +1,46 @@
+#include "net/backoff.h"
+
+#include <algorithm>
+
+#include "fl/fault.h"
+#include "util/rng.h"
+
+namespace fedclust::net {
+
+namespace {
+
+// Private stream salt; distinct from every fl:: salt so transport jitter
+// can never collide with simulation streams.
+constexpr std::uint64_t kBackoffSalt = 0xBAC0FF0000000000ULL;
+constexpr std::uint64_t kClientStride = 1000003ULL;  // prime, as train_rng
+
+}  // namespace
+
+BackoffPolicy BackoffPolicy::from_fault_plan(const fl::FaultPlan& plan) {
+  BackoffPolicy p;
+  p.base = plan.backoff_base;
+  p.mult = plan.backoff_mult;
+  p.max_attempts = plan.max_retries + 1;
+  return p;
+}
+
+double BackoffPolicy::delay_seconds(std::uint64_t seed, std::uint64_t client,
+                                    std::uint64_t round,
+                                    std::uint64_t attempt) const {
+  if (attempt == 0) return 0.0;
+  double d = base;
+  for (std::uint64_t i = 1; i < attempt; ++i) {
+    d *= mult;
+    if (d >= cap_seconds) break;
+  }
+  d = std::min(d, cap_seconds);
+  if (jitter > 0.0) {
+    util::Rng stream = util::Rng(seed)
+                           .split(kBackoffSalt + client * kClientStride + round)
+                           .split(attempt);
+    d *= 1.0 + jitter * stream.uniform();
+  }
+  return d;
+}
+
+}  // namespace fedclust::net

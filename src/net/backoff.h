@@ -1,0 +1,41 @@
+#pragma once
+
+// Deterministic retry-with-exponential-backoff for the socket transport.
+//
+// The schedule is a pure function of (seed, client, round, attempt) —
+// mirroring FaultEngine's purity invariant, so two servers replaying the
+// same campaign produce identical retry timing decisions, and a unit test
+// can assert the whole schedule without running a socket. The base delay,
+// multiplier, and attempt budget come from the fault plan's backoff knobs
+// (--fault-spec backoff_base=..,backoff_mult=..,retries=..), the same
+// knobs Federation::deliver_update uses for *simulated* comm retries: one
+// schedule definition for simulated and real faults.
+
+#include <cstdint>
+
+namespace fedclust::fl {
+struct FaultPlan;
+}
+
+namespace fedclust::net {
+
+struct BackoffPolicy {
+  double base = 0.25;           // seconds before the first retry
+  double mult = 2.0;            // delay growth per retry
+  std::size_t max_attempts = 3; // total delivery attempts per call
+  double cap_seconds = 10.0;    // ceiling on any single delay
+  double jitter = 0.1;          // fractional deterministic jitter in [0, j)
+
+  // base/mult/max_attempts lifted from the plan (max_attempts =
+  // max_retries + 1: retries beyond the first attempt).
+  static BackoffPolicy from_fault_plan(const fl::FaultPlan& plan);
+
+  // Delay after failed attempt `attempt` (1-based) of `client`'s call in
+  // `round`. Pure in (seed, client, round, attempt); the jitter fraction
+  // is drawn from a salted private RNG stream, so it cannot perturb any
+  // simulation stream.
+  double delay_seconds(std::uint64_t seed, std::uint64_t client,
+                       std::uint64_t round, std::uint64_t attempt) const;
+};
+
+}  // namespace fedclust::net

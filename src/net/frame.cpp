@@ -1,0 +1,67 @@
+#include "net/frame.h"
+
+#include "util/serialization.h"
+
+namespace fedclust::net {
+
+const char* frame_status_name(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kNeedMore: return "need_more";
+    case FrameStatus::kBadMagic: return "bad_magic";
+    case FrameStatus::kOversize: return "oversize";
+    case FrameStatus::kBadCrc: return "bad_crc";
+    case FrameStatus::kTruncated: return "truncated";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> frame_encode(const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderSize + body.size());
+  util::put_u32_le(out, kFrameMagic);
+  util::put_u32_le(out, static_cast<std::uint32_t>(body.size()));
+  util::put_u32_le(out, util::crc32c(body.data(), body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t n) {
+  if (poisoned() || n == 0) return;
+  // Compact the consumed prefix before growing — the buffer stays bounded
+  // by one in-flight frame plus whatever the socket read ahead.
+  if (pos_ > 0 && (pos_ >= 4096 || pos_ == buf_.size())) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameStatus FrameReader::next(std::vector<std::uint8_t>& body) {
+  if (poisoned()) return error_;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderSize) return FrameStatus::kNeedMore;
+  const std::uint8_t* p = buf_.data() + pos_;
+  if (util::get_u32_le(p) != kFrameMagic) {
+    return error_ = FrameStatus::kBadMagic;
+  }
+  const std::uint32_t len = util::get_u32_le(p + 4);
+  if (len > kMaxFrameBody) {
+    return error_ = FrameStatus::kOversize;
+  }
+  if (avail < kFrameHeaderSize + len) return FrameStatus::kNeedMore;
+  const std::uint32_t want_crc = util::get_u32_le(p + 8);
+  if (util::crc32c(p + kFrameHeaderSize, len) != want_crc) {
+    return error_ = FrameStatus::kBadCrc;
+  }
+  body.assign(p + kFrameHeaderSize, p + kFrameHeaderSize + len);
+  pos_ += kFrameHeaderSize + len;
+  return FrameStatus::kOk;
+}
+
+FrameStatus FrameReader::finish() const {
+  if (poisoned()) return error_;
+  return buffered() > 0 ? FrameStatus::kTruncated : FrameStatus::kOk;
+}
+
+}  // namespace fedclust::net

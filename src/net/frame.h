@@ -1,0 +1,74 @@
+#pragma once
+
+// Length-prefixed, checksummed frames — the socket transport's outermost
+// layer. A frame carries one transport message body (see net/message.h);
+// float payloads inside bodies additionally travel as full wire:: envelopes
+// with their own CRC, so a corrupted stream is rejected twice before any
+// value can reach a model.
+//
+// Frame layout (all little-endian):
+//
+//   offset  size  field
+//        0     4  magic 0xFEDCF7A3
+//        4     4  body length N
+//        8     4  CRC32C over the body bytes
+//       12     N  body
+//
+// FrameReader is a pure incremental parser: feed() arbitrary byte chunks
+// (however the socket delivered them), next() yields complete verified
+// bodies. Any damage — flipped magic, oversized length, checksum mismatch —
+// poisons the reader permanently: a stream that has lied once cannot be
+// resynchronized, so the connection must be dropped (the same stance
+// wire_test.cpp's bit-flip suite enforces for envelopes). Truncation is
+// detected at EOF via finish().
+
+#include <cstdint>
+#include <vector>
+
+namespace fedclust::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0xFEDCF7A3u;
+inline constexpr std::size_t kFrameHeaderSize = 12;
+// Generous bound: the largest legitimate body is a TrainReq with three
+// raw_f32 envelopes of a full model. Anything beyond this is garbage (or a
+// length field hit by a bit flip) and is rejected before allocation.
+inline constexpr std::uint32_t kMaxFrameBody = 256u * 1024 * 1024;
+
+enum class FrameStatus : std::uint8_t {
+  kOk = 0,        // next(): a verified body was produced
+  kNeedMore,      // next(): the buffered bytes end mid-frame
+  kBadMagic,      // stream does not start with a frame
+  kOversize,      // declared body length exceeds kMaxFrameBody
+  kBadCrc,        // body bytes do not match the header checksum
+  kTruncated,     // finish(): EOF landed mid-frame
+};
+
+const char* frame_status_name(FrameStatus s);
+
+// Wraps a message body in a frame header.
+std::vector<std::uint8_t> frame_encode(const std::vector<std::uint8_t>& body);
+
+class FrameReader {
+ public:
+  // Appends raw stream bytes (no-op once poisoned).
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  // Extracts the next complete frame body. kOk fills `body`; kNeedMore
+  // means feed more bytes; any other status poisons the reader and every
+  // later call returns it.
+  FrameStatus next(std::vector<std::uint8_t>& body);
+
+  // EOF check: kTruncated when verified-so-far bytes end mid-frame, the
+  // sticky error when poisoned, else kOk.
+  FrameStatus finish() const;
+
+  bool poisoned() const { return error_ != FrameStatus::kOk; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  FrameStatus error_ = FrameStatus::kOk;
+};
+
+}  // namespace fedclust::net

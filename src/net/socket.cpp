@@ -1,0 +1,204 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace fedclust::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Address Address::parse(const std::string& spec) {
+  Address a;
+  std::string rest = spec;
+  if (spec.rfind("unix:", 0) == 0) {
+    a.is_unix = true;
+    a.path = spec.substr(5);
+    if (a.path.empty()) {
+      throw std::invalid_argument("address: empty unix socket path in '" +
+                                  spec + "'");
+    }
+    if (a.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::invalid_argument("address: unix socket path too long: " +
+                                  a.path);
+    }
+    return a;
+  }
+  if (spec.rfind("tcp:", 0) == 0) rest = spec.substr(4);
+  const auto colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+    throw std::invalid_argument(
+        "address: expected unix:/path or tcp:host:port, got '" + spec + "'");
+  }
+  a.host = rest.substr(0, colon);
+  const std::string port_str = rest.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
+    throw std::invalid_argument("address: bad port '" + port_str + "' in '" +
+                                spec + "'");
+  }
+  a.port = static_cast<std::uint16_t>(port);
+  return a;
+}
+
+std::string Address::describe() const {
+  if (is_unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+int listen_on(const Address& addr) {
+  if (addr.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    sockaddr_un sa = {};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.path.c_str(), sizeof(sa.sun_path) - 1);
+    ::unlink(addr.path.c_str());  // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(fd);
+      throw_errno("bind(" + addr.describe() + ")");
+    }
+    if (::listen(fd, 16) != 0) {
+      ::close(fd);
+      throw_errno("listen(" + addr.describe() + ")");
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa = {};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (addr.host.empty() || addr.host == "*" || addr.host == "0.0.0.0") {
+    sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("listen: host must be a numeric IPv4 address, "
+                             "got " + addr.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    throw_errno("bind(" + addr.describe() + ")");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw_errno("listen(" + addr.describe() + ")");
+  }
+  return fd;
+}
+
+int connect_to(const Address& addr) {
+  if (addr.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un sa = {};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(addr.port);
+  if (::getaddrinfo(addr.host.c_str(), port.c_str(), &hints, &res) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  return fd;
+}
+
+int accept_conn(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  return fd < 0 ? -1 : fd;
+}
+
+namespace {
+
+void set_timeout(int fd, int optname, int ms) {
+  timeval tv = {};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+void set_recv_timeout(int fd, int ms) { set_timeout(fd, SO_RCVTIMEO, ms); }
+void set_send_timeout(int fd, int ms) { set_timeout(fd, SO_SNDTIMEO, ms); }
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd p = {};
+  p.fd = fd;
+  p.events = POLLIN;
+  while (true) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+IoStatus FdStream::read_some(std::uint8_t* buf, std::size_t n,
+                             std::size_t& got) {
+  got = 0;
+  while (true) {
+    const ssize_t rc = ::recv(fd_, buf, n, 0);
+    if (rc > 0) {
+      got = static_cast<std::size_t>(rc);
+      return IoStatus::kOk;
+    }
+    if (rc == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kTimeout;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus FdStream::write_some(const std::uint8_t* buf, std::size_t n,
+                              std::size_t& put) {
+  put = 0;
+  while (true) {
+    const ssize_t rc = ::send(fd_, buf, n, MSG_NOSIGNAL);
+    if (rc >= 0) {
+      put = static_cast<std::size_t>(rc);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kTimeout;
+    return IoStatus::kError;
+  }
+}
+
+}  // namespace fedclust::net

@@ -1,0 +1,66 @@
+#pragma once
+
+// Thin POSIX socket helpers for the transport: address parsing
+// ("unix:/path" or "tcp:host:port"), listen/connect/accept, per-fd
+// timeouts, and the ByteStream adapter over a connected fd. Everything
+// above this file is socket-agnostic (frames, messages, supervision logic
+// run against ByteStream), so this is the only TU that touches <sys/*>.
+
+#include <cstdint>
+#include <string>
+
+#include "net/stream.h"
+
+namespace fedclust::net {
+
+struct Address {
+  bool is_unix = false;
+  std::string path;  // unix socket path
+  std::string host;  // tcp host (numeric or name)
+  std::uint16_t port = 0;
+
+  // "unix:/tmp/fed.sock", "tcp:127.0.0.1:7070", or "host:port" (tcp
+  // implied). Throws std::invalid_argument on anything else.
+  static Address parse(const std::string& spec);
+  std::string describe() const;
+};
+
+// Bind + listen; throws std::runtime_error with errno detail. For unix
+// addresses a stale socket file is unlinked first.
+int listen_on(const Address& addr);
+
+// Connect; returns -1 on failure (callers retry with backoff).
+int connect_to(const Address& addr);
+
+// Accept one pending connection; returns -1 when none is ready.
+int accept_conn(int listen_fd);
+
+// SO_RCVTIMEO / SO_SNDTIMEO (ms; 0 = blocking forever).
+void set_recv_timeout(int fd, int ms);
+void set_send_timeout(int fd, int ms);
+
+void close_fd(int fd);
+
+// True when `fd` has readable data (or EOF) within `timeout_ms`; false on
+// timeout. Throws on poll() failure.
+bool wait_readable(int fd, int timeout_ms);
+
+// ByteStream over a connected socket fd (not owned). Reads honor the fd's
+// SO_RCVTIMEO (mapped to kTimeout); writes use MSG_NOSIGNAL so a dead peer
+// surfaces as kError instead of SIGPIPE.
+class FdStream final : public ByteStream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+
+  IoStatus read_some(std::uint8_t* buf, std::size_t n,
+                     std::size_t& got) override;
+  IoStatus write_some(const std::uint8_t* buf, std::size_t n,
+                      std::size_t& put) override;
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace fedclust::net

@@ -1,0 +1,43 @@
+#include "net/stream.h"
+
+namespace fedclust::net {
+
+IoStatus write_all(ByteStream& s, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    std::size_t put = 0;
+    const IoStatus st = s.write_some(data + off, n - off, put);
+    if (st != IoStatus::kOk) return st;
+    if (put == 0) return IoStatus::kError;  // no progress = broken stream
+    off += put;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus write_frame(ByteStream& s, const std::vector<std::uint8_t>& body) {
+  const std::vector<std::uint8_t> framed = frame_encode(body);
+  return write_all(s, framed.data(), framed.size());
+}
+
+IoStatus read_frame(ByteStream& s, FrameReader& reader,
+                    std::vector<std::uint8_t>& body,
+                    FrameStatus& frame_status) {
+  std::uint8_t chunk[16 * 1024];
+  while (true) {
+    frame_status = reader.next(body);
+    if (frame_status == FrameStatus::kOk) return IoStatus::kOk;
+    if (frame_status != FrameStatus::kNeedMore) return IoStatus::kError;
+    std::size_t got = 0;
+    const IoStatus st = s.read_some(chunk, sizeof(chunk), got);
+    if (st != IoStatus::kOk) {
+      if (st == IoStatus::kEof) {
+        // EOF mid-frame is truncation, surfaced as a framing error.
+        frame_status = reader.finish();
+      }
+      return st;
+    }
+    reader.feed(chunk, got);
+  }
+}
+
+}  // namespace fedclust::net

@@ -1,0 +1,51 @@
+#pragma once
+
+// Byte-stream abstraction under the framing layer. Sockets implement it
+// (net::FdStream); tests implement it with in-memory mocks that inject
+// short reads, short writes, and mid-frame EOF without opening a socket.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace fedclust::net {
+
+enum class IoStatus : std::uint8_t {
+  kOk = 0,
+  kEof,      // orderly close
+  kTimeout,  // deadline expired before any byte moved
+  kError,    // connection-level failure (errno-style)
+};
+
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  // Reads at most `n` bytes into `buf`; sets `got` to the count (0 only
+  // with a non-kOk status). Partial reads are normal.
+  virtual IoStatus read_some(std::uint8_t* buf, std::size_t n,
+                             std::size_t& got) = 0;
+
+  // Writes at most `n` bytes from `buf`; sets `put` to the count. Partial
+  // writes are normal — callers loop via write_all.
+  virtual IoStatus write_some(const std::uint8_t* buf, std::size_t n,
+                              std::size_t& put) = 0;
+};
+
+// Loops write_some until every byte is out. kOk or the first failure.
+IoStatus write_all(ByteStream& s, const std::uint8_t* data, std::size_t n);
+
+// frame_encode + write_all.
+IoStatus write_frame(ByteStream& s, const std::vector<std::uint8_t>& body);
+
+// Blocking read of exactly one frame through `reader` (which may already
+// hold buffered bytes from a previous read-ahead). On kOk, `body` holds
+// the verified frame body. IoStatus reports stream-level failures;
+// `frame_status` reports framing-level rejection (kOk + poisoned reader
+// never happens: framing damage returns kError with the frame status).
+IoStatus read_frame(ByteStream& s, FrameReader& reader,
+                    std::vector<std::uint8_t>& body,
+                    FrameStatus& frame_status);
+
+}  // namespace fedclust::net

@@ -1,0 +1,291 @@
+#include "net/worker.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "fl/federation.h"
+#include "fl/wire.h"
+#include "net/message.h"
+#include "net/socket.h"
+#include "net/stream.h"
+#include "nn/model.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/serialization.h"
+#include "util/signal.h"
+#include "util/timer.h"
+
+namespace fedclust::net {
+
+namespace {
+
+constexpr std::uint32_t kStateMagic = 0xFC3057A7u;
+constexpr std::uint32_t kStateVersion = 1;
+
+}  // namespace
+
+bool load_worker_state(const std::string& path, std::uint64_t fingerprint,
+                       std::uint64_t seed, WorkerState& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(is)),
+                                  std::istreambuf_iterator<char>());
+  constexpr std::size_t kLen = 4 + 4 + 8 + 8 + 8 + 8 + 4;
+  if (bytes.size() != kLen) return false;
+  const std::uint8_t* p = bytes.data();
+  if (util::get_u32_le(p) != kStateMagic) return false;
+  if (util::get_u32_le(p + 4) != kStateVersion) return false;
+  if (util::crc32c(p, kLen - 4) != util::get_u32_le(p + kLen - 4)) {
+    return false;
+  }
+  WorkerState st;
+  st.fingerprint = util::get_u64_le(p + 8);
+  st.seed = util::get_u64_le(p + 16);
+  st.last_round = util::get_u64_le(p + 24);
+  st.calls_served = util::get_u64_le(p + 32);
+  // A state file from a different experiment must not seed a resume.
+  if (st.fingerprint != fingerprint || st.seed != seed) return false;
+  out = st;
+  return true;
+}
+
+void save_worker_state(const std::string& path, const WorkerState& st) {
+  std::vector<std::uint8_t> bytes;
+  util::put_u32_le(bytes, kStateMagic);
+  util::put_u32_le(bytes, kStateVersion);
+  util::put_u64_le(bytes, st.fingerprint);
+  util::put_u64_le(bytes, st.seed);
+  util::put_u64_le(bytes, st.last_round);
+  util::put_u64_le(bytes, st.calls_served);
+  util::put_u32_le(bytes, util::crc32c(bytes.data(), bytes.size()));
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os) {
+      FC_LOG_WARN << "worker: failed writing state file " << tmp;
+      return;
+    }
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+WorkerLoop::WorkerLoop(fl::Federation& fed, WorkerOptions opts)
+    : fed_(fed), opts_(std::move(opts)) {
+  state_.fingerprint = opts_.fingerprint;
+  state_.seed = opts_.seed;
+}
+
+int WorkerLoop::connect_and_handshake() {
+  const Address addr = Address::parse(opts_.connect);
+  for (int attempt = 0; attempt < opts_.connect_attempts; ++attempt) {
+    if (util::shutdown_requested()) return -1;
+    if (attempt > 0) {
+      const double d = opts_.backoff.delay_seconds(
+          opts_.seed, /*client=*/0, /*round=*/0,
+          static_cast<std::uint64_t>(attempt));
+      std::this_thread::sleep_for(std::chrono::duration<double>(d));
+    }
+    const int fd = connect_to(addr);
+    if (fd < 0) continue;
+    set_recv_timeout(fd, opts_.io_timeout_ms);
+    set_send_timeout(fd, opts_.io_timeout_ms);
+
+    HelloMsg hello;
+    hello.proto = kProtocolVersion;
+    hello.fingerprint = opts_.fingerprint;
+    hello.seed = opts_.seed;
+    hello.resume_round = state_.last_round;
+    hello.calls_served = state_.calls_served;
+
+    FdStream s(fd);
+    FrameReader reader;
+    std::vector<std::uint8_t> body;
+    FrameStatus fst = FrameStatus::kNeedMore;
+    WelcomeMsg welcome;
+    if (write_frame(s, encode_hello(hello)) != IoStatus::kOk ||
+        read_frame(s, reader, body, fst) != IoStatus::kOk ||
+        !decode_welcome(body, welcome)) {
+      close_fd(fd);
+      continue;
+    }
+    worker_id_ = welcome.worker_id;
+    FC_LOG_INFO << "worker " << worker_id_ << ": connected to "
+                << addr.describe() << " (server at round "
+                << welcome.next_round << ", resume from round "
+                << state_.last_round << ", served " << state_.calls_served
+                << ")";
+    return fd;
+  }
+  return -1;
+}
+
+bool WorkerLoop::serve(int fd, const std::vector<std::uint8_t>& body) {
+  using fl::wire::DecodeStatus;
+  FdStream s(fd);
+
+  TrainReqMsg req;
+  if (!decode_train_req(body, req)) {
+    ErrorMsg err;
+    err.code = 0;
+    err.reason = "train_req: malformed body";
+    write_frame(s, encode_error(err));
+    return true;
+  }
+
+  // Second integrity stage: each embedded parameter vector carries its own
+  // wire-envelope CRC, verified before a single float is trusted.
+  fl::wire::Envelope start, prox, offset;
+  DecodeStatus ds = fl::wire::try_decode(req.start_env.data(),
+                                         req.start_env.size(), start);
+  if (ds == DecodeStatus::kOk && req.prox_env) {
+    ds = fl::wire::try_decode(req.prox_env->data(), req.prox_env->size(),
+                              prox);
+  }
+  if (ds == DecodeStatus::kOk && req.offset_env) {
+    ds = fl::wire::try_decode(req.offset_env->data(), req.offset_env->size(),
+                              offset);
+  }
+  if (ds != DecodeStatus::kOk) {
+    ErrorMsg err;
+    err.code = static_cast<std::uint32_t>(ds);
+    err.reason = std::string("train_req: envelope rejected (") +
+                 fl::wire::decode_status_name(ds) + ")";
+    write_frame(s, encode_error(err));
+    return true;
+  }
+
+  nn::Model& ws = fed_.workspace();
+  ws.set_flat_params(start.payload);
+  util::Rng rng = util::Rng::from_state(req.rng);
+  const std::int64_t t0 = util::process_elapsed_micros();
+  const float loss = fed_.client(static_cast<std::size_t>(req.client))
+                         .train(ws, req.opts, rng,
+                                req.prox_env ? &prox.payload : nullptr,
+                                req.offset_env ? &offset.payload : nullptr);
+  const std::int64_t t1 = util::process_elapsed_micros();
+
+  TrainRespMsg resp;
+  resp.client = req.client;
+  resp.round = req.round;
+  resp.ok = true;
+  resp.loss = loss;
+  resp.train_us = static_cast<std::uint64_t>(t1 - t0);
+  resp.params_env = fl::wire::encode(fl::wire::MessageKind::kUpdatePush,
+                                     fl::wire::CodecId::kRawF32, req.client,
+                                     req.round, ws.flat_params());
+  if (write_frame(s, encode_train_resp(resp)) != IoStatus::kOk) return false;
+
+  OBS_COUNTER_ADD("net.calls_served", 1);
+  state_.last_round = req.round;
+  state_.calls_served += 1;
+  if (!opts_.state_path.empty()) save_worker_state(opts_.state_path, state_);
+  return true;
+}
+
+int WorkerLoop::run() {
+  if (!opts_.state_path.empty() &&
+      load_worker_state(opts_.state_path, opts_.fingerprint, opts_.seed,
+                        state_)) {
+    FC_LOG_INFO << "worker: resuming from state file (round "
+                << state_.last_round << ", served " << state_.calls_served
+                << ")";
+  }
+
+  int fd = connect_and_handshake();
+  if (fd < 0) {
+    FC_LOG_ERROR << "worker: could not reach server at " << opts_.connect;
+    return 1;
+  }
+
+  FrameReader reader;
+  std::vector<std::uint8_t> body;
+  double last_beat = util::process_elapsed_seconds();
+  while (true) {
+    if (util::shutdown_requested()) {
+      FC_LOG_INFO << "worker " << worker_id_ << ": shutdown requested";
+      if (!opts_.state_path.empty()) {
+        save_worker_state(opts_.state_path, state_);
+      }
+      close_fd(fd);
+      return 0;
+    }
+
+    bool readable = false;
+    try {
+      readable = wait_readable(fd, opts_.heartbeat_ms);
+    } catch (const std::exception&) {
+      readable = false;
+    }
+    if (!readable) {
+      const double now = util::process_elapsed_seconds();
+      if ((now - last_beat) * 1000.0 >= opts_.heartbeat_ms) {
+        HeartbeatMsg hb;
+        hb.worker_id = worker_id_;
+        hb.calls_served = state_.calls_served;
+        FdStream s(fd);
+        write_frame(s, encode_heartbeat(hb));
+        last_beat = now;
+      }
+      continue;
+    }
+
+    std::uint8_t chunk[16 * 1024];
+    std::size_t got = 0;
+    FdStream s(fd);
+    const IoStatus ist = s.read_some(chunk, sizeof(chunk), got);
+    if (ist == IoStatus::kTimeout) continue;
+    if (ist != IoStatus::kOk) {
+      FC_LOG_WARN << "worker " << worker_id_
+                  << ": connection lost; reconnecting";
+      close_fd(fd);
+      fd = connect_and_handshake();
+      if (fd < 0) return 1;
+      reader = FrameReader();
+      continue;
+    }
+    reader.feed(chunk, got);
+
+    bool conn_dead = false;
+    while (!conn_dead) {
+      const FrameStatus fst = reader.next(body);
+      if (fst == FrameStatus::kNeedMore) break;
+      if (fst != FrameStatus::kOk) {
+        FC_LOG_WARN << "worker " << worker_id_ << ": frame rejected ("
+                    << frame_status_name(fst) << "); reconnecting";
+        conn_dead = true;
+        break;
+      }
+      const std::optional<MsgType> type = peek_type(body);
+      if (!type) continue;
+      if (*type == MsgType::kShutdown) {
+        FC_LOG_INFO << "worker " << worker_id_ << ": shutdown from server, "
+                    << "served " << state_.calls_served << " call(s)";
+        if (!opts_.state_path.empty()) {
+          save_worker_state(opts_.state_path, state_);
+        }
+        close_fd(fd);
+        return 0;
+      }
+      if (*type == MsgType::kTrainReq) {
+        if (!serve(fd, body)) {
+          conn_dead = true;
+          break;
+        }
+        last_beat = util::process_elapsed_seconds();
+      }
+      // Anything else (stray welcome/heartbeat) is ignored.
+    }
+    if (conn_dead) {
+      close_fd(fd);
+      fd = connect_and_handshake();
+      if (fd < 0) return 1;
+      reader = FrameReader();
+    }
+  }
+}
+
+}  // namespace fedclust::net

@@ -105,6 +105,17 @@ void render_row(std::ostream& os, const JournalRow& r) {
     case JournalEvent::kEval:
       os << ",\"acc_micro\":" << r.a;
       break;
+    case JournalEvent::kHeartbeatMissed:
+      os << ",\"in_flight\":" << r.a;
+      break;
+    case JournalEvent::kWorkerRestart:
+      os << ",\"served\":" << r.a;
+      break;
+    case JournalEvent::kFrameReject:
+      os << ",\"status\":" << r.a;
+      break;
+    case JournalEvent::kConnect:
+    case JournalEvent::kReconnect:
     case JournalEvent::kSampled:
     case JournalEvent::kDropped:
     case JournalEvent::kCrash:
@@ -135,6 +146,11 @@ const char* journal_event_name(JournalEvent ev) {
     case JournalEvent::kQuarantine: return "quarantine";
     case JournalEvent::kDelivered: return "delivered";
     case JournalEvent::kEval: return "eval";
+    case JournalEvent::kConnect: return "connect";
+    case JournalEvent::kReconnect: return "reconnect";
+    case JournalEvent::kHeartbeatMissed: return "heartbeat_missed";
+    case JournalEvent::kWorkerRestart: return "worker_restart";
+    case JournalEvent::kFrameReject: return "frame_reject";
   }
   return "unknown";
 }

@@ -53,6 +53,17 @@ enum class JournalEvent : std::uint8_t {
   kQuarantine,       // a = validator reason (0 non_finite, 1 norm_bound)
   kDelivered,        // the update entered aggregation
   kEval,             // a = client's local-test accuracy in micro-units
+
+  // ---- transport events (socket mode; see docs/TRANSPORT.md) ----------
+  // The `client` slot carries the *worker* id, not a client id; `round` is
+  // the round the server was executing when the event fired (0 during the
+  // pre-campaign handshake). All are recorded on the server thread, so the
+  // flush-sort determinism contract is unaffected.
+  kConnect,          // worker completed the handshake during startup
+  kReconnect,        // a fresh worker joined mid-campaign
+  kHeartbeatMissed,  // a = in-flight calls when the deadline expired
+  kWorkerRestart,    // a = calls the worker had served before restarting
+  kFrameReject,      // a = frame error ordinal (net::FrameStatus)
 };
 
 // Stable lowercase name used as the row's "ev" field.

@@ -55,6 +55,25 @@ void ingest_journal(RunReport& r, const std::string& journal_text,
     const std::uint64_t round = u64(row, "round");
     const std::uint64_t client = u64(row, "client");
     const std::string ev = row.string_or("ev", "");
+    // Transport rows carry a worker id in the client slot and may land on
+    // rounds with no cohort; tally them before the per-round/per-client
+    // maps so they never fabricate empty entries there.
+    if (ev == "connect") {
+      ++r.transport.connects;
+      continue;
+    } else if (ev == "reconnect") {
+      ++r.transport.reconnects;
+      continue;
+    } else if (ev == "heartbeat_missed") {
+      ++r.transport.heartbeat_missed;
+      continue;
+    } else if (ev == "worker_restart") {
+      ++r.transport.worker_restarts;
+      continue;
+    } else if (ev == "frame_reject") {
+      ++r.transport.frame_rejects;
+      continue;
+    }
     RoundStats& rs = rounds[round];
     rs.round = round;
     ClientStats& cs = clients[client];
@@ -306,7 +325,13 @@ std::string to_json(const RunReport& r) {
      << ",\"deadline_missed\":" << r.faults.deadline_missed
      << ",\"corrupt\":" << r.faults.corrupt
      << ",\"checksum_rejects\":" << r.faults.checksum_rejects
-     << ",\"quarantined\":" << r.faults.quarantined << "},\"phases\":[";
+     << ",\"quarantined\":" << r.faults.quarantined
+     << "},\"transport\":{\"connects\":" << r.transport.connects
+     << ",\"reconnects\":" << r.transport.reconnects
+     << ",\"heartbeat_missed\":" << r.transport.heartbeat_missed
+     << ",\"worker_restarts\":" << r.transport.worker_restarts
+     << ",\"frame_rejects\":" << r.transport.frame_rejects
+     << "},\"phases\":[";
   for (std::size_t i = 0; i < r.phases.size(); ++i) {
     const PhaseStats& ps = r.phases[i];
     os << (i ? "," : "") << "{\"name\":\"" << ps.name
@@ -390,6 +415,16 @@ std::string to_markdown(const RunReport& r) {
   os << "| checksum rejects | " << r.faults.checksum_rejects << " |\n";
   os << "| quarantined | " << r.faults.quarantined << " |\n";
 
+  if (r.transport.any()) {
+    os << "\n## Transport\n\n";
+    os << "| event | count |\n|-------|------:|\n";
+    os << "| worker connects | " << r.transport.connects << " |\n";
+    os << "| reconnects | " << r.transport.reconnects << " |\n";
+    os << "| heartbeats missed | " << r.transport.heartbeat_missed << " |\n";
+    os << "| worker restarts | " << r.transport.worker_restarts << " |\n";
+    os << "| frames rejected | " << r.transport.frame_rejects << " |\n";
+  }
+
   if (!r.phases.empty()) {
     os << "\n## Phase breakdown (from trace)\n\n";
     os << "| span | count | total ms |\n|------|------:|---------:|\n";
@@ -430,6 +465,13 @@ RunReport from_json(const std::string& text) {
     r.faults.corrupt = u64(*faults, "corrupt");
     r.faults.checksum_rejects = u64(*faults, "checksum_rejects");
     r.faults.quarantined = u64(*faults, "quarantined");
+  }
+  if (const json::Value* transport = doc.find("transport")) {
+    r.transport.connects = u64(*transport, "connects");
+    r.transport.reconnects = u64(*transport, "reconnects");
+    r.transport.heartbeat_missed = u64(*transport, "heartbeat_missed");
+    r.transport.worker_restarts = u64(*transport, "worker_restarts");
+    r.transport.frame_rejects = u64(*transport, "frame_rejects");
   }
   return r;
 }

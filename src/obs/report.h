@@ -84,6 +84,22 @@ struct FaultSummary {
   std::uint64_t quarantined = 0;
 };
 
+// Socket-mode transport events (journal rows whose `client` slot carries a
+// worker id; see docs/TRANSPORT.md). All zero for in-process runs.
+struct TransportSummary {
+  std::uint64_t connects = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t heartbeat_missed = 0;
+  std::uint64_t worker_restarts = 0;
+  std::uint64_t frame_rejects = 0;
+
+  bool any() const {
+    return connects + reconnects + heartbeat_missed + worker_restarts +
+               frame_rejects >
+           0;
+  }
+};
+
 struct RunReport {
   int version = 1;
   std::string codec = "raw_f32";
@@ -100,6 +116,7 @@ struct RunReport {
   std::vector<ClientStats> stragglers;  // top-K by straggler attribution
   std::vector<ClusterStats> clusters;
   FaultSummary faults;
+  TransportSummary transport;
   std::vector<PhaseStats> phases;       // by total_us, descending
 
   std::uint64_t total_wire_bytes() const {

@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
 # Docs-consistency check (run by tier1.sh after the release build):
-#   1. every --flag in `fedclust_sim --help` and `fedclust_report --help`
-#      is documented somewhere in README.md / EXPERIMENTS.md / docs/*.md,
-#      and every --flag those files mention exists in one of the two
-#      --helps (minus known non-CLI flags);
+#   1. every --flag in the --help of fedclust_sim, fedclust_report,
+#      fedclust_server, and fedclust_worker is documented somewhere in
+#      README.md / EXPERIMENTS.md / docs/*.md, and every --flag those files
+#      mention exists in one of the four --helps (minus known non-CLI
+#      flags);
 #   2. every relative markdown link in docs/*.md points at a real file;
 #   3. every `path:line` anchor in docs/*.md names a real file and a
 #      line that exists.
-# Usage: tools/check_docs.sh [path/to/fedclust_sim] [path/to/fedclust_report]
+# Usage: tools/check_docs.sh [sim] [report] [server] [worker]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 sim="${1:-build/tools/fedclust_sim}"
 report="${2:-build/tools/fedclust_report}"
-[ -x "$sim" ] || { echo "check_docs: $sim not built" >&2; exit 1; }
-[ -x "$report" ] || { echo "check_docs: $report not built" >&2; exit 1; }
+server="${3:-build/tools/fedclust_server}"
+worker="${4:-build/tools/fedclust_worker}"
+for bin in "$sim" "$report" "$server" "$worker"; do
+  [ -x "$bin" ] || { echo "check_docs: $bin not built" >&2; exit 1; }
+done
 
 doc_files=(README.md EXPERIMENTS.md docs/*.md)
 fail=0
@@ -23,7 +27,8 @@ fail=0
 # invocations, not to fedclust_sim / fedclust_report.
 ignore='^(benchmark_filter|build|extras|preset|test-dir|output-on-failure|help)$'
 
-help_flags=$({ "$sim" --help; "$report" --help; } |
+help_flags=$({ "$sim" --help; "$report" --help; "$server" --help;
+               "$worker" --help; } |
              grep -oE '^  --[a-zA-Z][a-zA-Z0-9_-]*' |
              sed 's/^  --//' | sort -u)
 doc_flags=$(grep -ohE '\-\-[a-zA-Z][a-zA-Z0-9_-]*' "${doc_files[@]}" |

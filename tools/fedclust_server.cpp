@@ -1,13 +1,21 @@
-// fedclust_sim — general-purpose CLI for the simulator: run any method
-// (including the extension baselines) on any dataset/partition and write
-// the per-round trace to CSV.
+// fedclust_server — the multi-process variant of fedclust_sim.
 //
-//   $ fedclust_sim --method=FedClust --dataset=cifar10 --rounds=40 \
-//       --partition=skew --skew=0.2 --clients=40 --out=trace.csv
+// Owns the whole campaign (Federation, sampling, fault injection, billing,
+// aggregation, evaluation, checkpoints) exactly like fedclust_sim; only the
+// pure local-training computation is farmed out to fedclust_worker
+// processes over a Unix or TCP socket. Every algorithm runs unmodified: the
+// net::ServerTransport plugs into Federation, and the round runner splits
+// the client step around it (see src/fl/transport.h).
 //
-// SIGINT/SIGTERM are handled gracefully: the run stops at the next round
-// boundary, writes a final checkpoint when --checkpoint-out is set, flushes
-// every open trace/metrics/journal sink, and exits 0.
+// With --deterministic the trace CSV and "state crc32c=" digest are
+// bit-identical to the in-process run of the same flags, at any worker
+// count and any FEDCLUST_THREADS. Worker crashes (kill -9) never abort the
+// campaign: in-flight calls are requeued onto surviving workers with
+// exponential backoff, and calls whose retry budget runs out degrade to
+// honestly-billed lost updates.
+//
+//   $ fedclust_server --listen=unix:/tmp/fed.sock --workers=2 \
+//       --method=FedClust --rounds=10 --out=trace.csv
 
 #include <cstdio>
 #include <filesystem>
@@ -16,6 +24,7 @@
 #include "core/registry.h"
 #include "experiment_flags.h"
 #include "fl/snapshot.h"
+#include "net/server_transport.h"
 #include "util/logging.h"
 #include "util/signal.h"
 #include "util/table.h"
@@ -25,17 +34,27 @@ int main(int argc, char** argv) {
   using namespace fedclust;
   try {
     util::ArgParser args(
-        "fedclust_sim",
-        "run one FL experiment and dump its trace.\n"
-        "Environment: FEDCLUST_LOG_LEVEL=trace|debug|info|warn|error|off "
-        "sets log verbosity (default info; per-round progress lines are "
-        "INFO). FEDCLUST_THREADS sets the worker-pool size (results are "
-        "bit-identical at any value). FEDCLUST_ISA=scalar|avx2|avx512|neon "
-        "pins the SIMD kernel dispatch (default: best supported; results "
-        "are bit-identical at any value). FEDCLUST_TRACE / FEDCLUST_METRICS "
-        "provide default paths for --trace-out / --metrics-out.");
+        "fedclust_server",
+        "run one FL experiment with local training delegated to "
+        "fedclust_worker processes over a socket.\n"
+        "Start the server first, then the workers with the same experiment "
+        "flags (the handshake rejects config mismatches). Environment: "
+        "FEDCLUST_LOG_LEVEL, FEDCLUST_THREADS, FEDCLUST_ISA, FEDCLUST_TRACE "
+        "and FEDCLUST_METRICS behave as in fedclust_sim.");
     tools::add_experiment_options(args);
     tools::add_obs_options(args);
+    args.add_option("listen",
+                    "address to listen on: unix:/path or tcp:host:port",
+                    "unix:/tmp/fedclust.sock");
+    args.add_option("workers",
+                    "worker handshakes to wait for before round 0", "1");
+    args.add_option("net-timeout-ms",
+                    "heartbeat deadline and per-connection I/O timeout; "
+                    "must exceed the worst-case single-call training time",
+                    "30000");
+    args.add_option("accept-timeout-ms",
+                    "how long to wait for the initial worker quorum",
+                    "60000");
     args.add_option("out", "trace CSV path (empty = don't write)", "");
     args.add_option("progress", "per-round INFO progress lines (1|0)", "1");
     args.add_option("checkpoint-out",
@@ -47,14 +66,12 @@ int main(int argc, char** argv) {
                     "the --halt-after boundary)",
                     "0");
     args.add_option("halt-after",
-                    "stop after writing the round-K boundary snapshot — a "
-                    "deterministic stand-in for killing the process (0 = "
+                    "stop after writing the round-K boundary snapshot (0 = "
                     "run to completion)",
                     "0");
     args.add_option("resume",
-                    "snapshot file to resume from; the other flags must "
-                    "reproduce the config that wrote it (see the "
-                    "checkpoint directory's manifest.json)",
+                    "snapshot file to resume from (flags must reproduce "
+                    "the config that wrote it)",
                     "");
     if (!args.parse(argc, argv)) return 0;
 
@@ -70,16 +87,31 @@ int main(int argc, char** argv) {
     fl::Federation fed(cfg);
     const auto algo = core::make_algorithm(args.str("method"), fed);
 
+    net::ServerOptions sopts;
+    sopts.listen = args.str("listen");
+    sopts.expect_workers = static_cast<std::size_t>(args.integer("workers"));
+    sopts.io_timeout_ms = static_cast<int>(args.integer("net-timeout-ms"));
+    sopts.accept_timeout_ms =
+        static_cast<int>(args.integer("accept-timeout-ms"));
+    sopts.backoff = net::BackoffPolicy::from_fault_plan(cfg.fault);
+    sopts.seed = cfg.seed;
+    sopts.fingerprint = fl::config_fingerprint(cfg);
+    net::ServerTransport transport(sopts);
+    transport.start();
+    if (!transport.wait_for_workers()) {
+      std::cerr << "error: only " << transport.live_workers() << " of "
+                << sopts.expect_workers << " workers connected within "
+                << sopts.accept_timeout_ms << " ms\n";
+      return 1;
+    }
+    fed.set_transport(&transport);
+
     fl::CheckpointPolicy ckpt;
     ckpt.dir = args.str("checkpoint-out");
     ckpt.every = static_cast<std::size_t>(args.integer("checkpoint-every"));
-    ckpt.halt_after =
-        static_cast<std::size_t>(args.integer("halt-after"));
+    ckpt.halt_after = static_cast<std::size_t>(args.integer("halt-after"));
     if (!ckpt.dir.empty()) {
       std::filesystem::create_directories(ckpt.dir);
-      // Manifest before the first round (docs/INVARIANTS.md "Snapshot"):
-      // whatever happens to the run, the directory documents what produced
-      // the snapshots next to it.
       fl::write_manifest(cfg, algo->name(), ckpt.dir);
       std::cout << "manifest written to " << ckpt.dir << "/manifest.json\n";
     }
@@ -104,11 +136,15 @@ int main(int argc, char** argv) {
                     << "Mb " << util::fmt_float(round_seconds, 3) << "s";
       });
     }
+
     util::Stopwatch sw;
     const fl::Trace trace = algo->run();
+    transport.shutdown_workers();
+    fed.set_transport(nullptr);
 
     std::cout << args.str("method") << " on " << args.str("dataset") << "/"
-              << args.str("partition") << ": final acc "
+              << args.str("partition") << " over " << transport.name()
+              << ": final acc "
               << util::fmt_float(trace.final_accuracy() * 100.0, 2)
               << "%, clusters " << trace.final_clusters() << ", comm "
               << util::fmt_float(trace.total_mb(), 2) << " Mb, "
@@ -125,9 +161,6 @@ int main(int argc, char** argv) {
               << " fast_math="
               << (util::fast_math_kernels() ? "on" : "off") << "\n";
     {
-      // Digest of the algorithm's full serialized state (all model
-      // parameters included): two runs print the same line iff they ended
-      // in bit-identical state — what the kill-and-resume smoke compares.
       char digest[16];
       std::snprintf(digest, sizeof(digest), "%08X", algo->state_crc32c());
       std::cout << "state crc32c=" << digest << "\n";

@@ -5,7 +5,9 @@
 # and re-run under Address+UBSanitizer, then simulator CLI smokes:
 # observability, fault injection, wire codecs, the event journal +
 # fedclust_report regression gate, docs consistency (check_docs.sh),
-# kill-and-resume, and SIMD dispatch (scalar vs native ISA bit-identity).
+# kill-and-resume, SIMD dispatch (scalar vs native ISA bit-identity), and
+# the multi-process transport (server + workers on a Unix socket, with a
+# kill -9 + checkpoint-restart round-trip, bit-identical to in-process).
 # Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -143,9 +145,10 @@ grep -q 'REGRESSION wire_bytes' "$report_dir/compare.err" ||
   { echo "report smoke: wire-byte regression not flagged" >&2; exit 1; }
 echo "journal+report smoke ok"
 
-# Docs consistency: every fedclust_sim / fedclust_report flag documented
-# and vice versa, relative links and file:line anchors in docs/ resolve.
-tools/check_docs.sh build/tools/fedclust_sim build/tools/fedclust_report
+# Docs consistency: every flag of the four CLI binaries documented and
+# vice versa, relative links and file:line anchors in docs/ resolve.
+tools/check_docs.sh build/tools/fedclust_sim build/tools/fedclust_report \
+    build/tools/fedclust_server build/tools/fedclust_worker
 
 # Kill-and-resume smoke: checkpoint at round 2, halt (the deterministic
 # stand-in for a kill), resume, and require the per-round trace CSV and
@@ -227,3 +230,102 @@ if FEDCLUST_ISA=bogus ./build/tools/fedclust_sim "${simd_flags[@]}" \
   echo "simd smoke: unknown FEDCLUST_ISA was accepted" >&2; exit 1
 fi
 echo "simd dispatch smoke ok (native isa: $native_isa)"
+
+# Multi-process transport smoke, part 1 — bit-identity: the same campaign
+# run in-process (fedclust_sim) and over a Unix socket (fedclust_server +
+# two fedclust_worker processes) must produce byte-identical trace CSVs
+# and state digests, for FedAvg and FedClust, at 1 and 4 worker threads
+# (docs/TRANSPORT.md "Bit-identity contract").
+net_dir=build/net_smoke
+rm -rf "$net_dir" && mkdir -p "$net_dir"
+for method in FedAvg FedClust; do
+  net_flags=(--method="$method" --clients=8 --rounds=3 --train=8 --test=4
+             --sample=0.5 --seed=13 --codec=qint8 --deterministic=1)
+  FEDCLUST_THREADS=1 ./build/tools/fedclust_sim "${net_flags[@]}" \
+      --out="$net_dir/$method.inproc.csv" > "$net_dir/$method.inproc.out"
+  for threads in 1 4; do
+    sock="unix:$net_dir/$method.t$threads.sock"
+    FEDCLUST_THREADS=$threads ./build/tools/fedclust_server \
+        "${net_flags[@]}" --listen="$sock" --workers=2 \
+        --out="$net_dir/$method.t$threads.csv" \
+        > "$net_dir/$method.t$threads.out" 2>&1 &
+    server_pid=$!
+    worker_pids=()
+    for w in 0 1; do
+      FEDCLUST_THREADS=$threads ./build/tools/fedclust_worker \
+          "${net_flags[@]}" --connect="$sock" \
+          > "$net_dir/$method.t$threads.w$w.log" 2>&1 &
+      worker_pids+=($!)
+    done
+    wait "$server_pid" ||
+      { echo "transport smoke: $method server failed (threads=$threads)" >&2
+        cat "$net_dir/$method.t$threads.out" >&2; exit 1; }
+    wait "${worker_pids[@]}" ||
+      { echo "transport smoke: $method worker failed (threads=$threads)" >&2
+        exit 1; }
+    cmp "$net_dir/$method.inproc.csv" "$net_dir/$method.t$threads.csv" ||
+      { echo "transport smoke: $method trace differs (threads=$threads)" >&2
+        exit 1; }
+    [ "$(state_line "$net_dir/$method.inproc.out")" = \
+      "$(state_line "$net_dir/$method.t$threads.out")" ] ||
+      { echo "transport smoke: $method state digest differs" \
+             "(threads=$threads)" >&2; exit 1; }
+  done
+done
+echo "transport bit-identity smoke ok"
+
+# Multi-process transport smoke, part 2 — crash supervision: kill -9 one
+# of two workers mid-campaign, restart it from its checkpoint state file,
+# and require the campaign to complete (server exit 0) with the crash
+# billed honestly (fault.worker_crash counter, worker_restart journal row)
+# while the trace and end state stay bit-identical to in-process.
+kill_flags=(--method=FedClust --clients=10 --rounds=12 --train=64 --test=8
+            --sample=0.5 --seed=13 --codec=qint8 --deterministic=1)
+FEDCLUST_THREADS=1 ./build/tools/fedclust_sim "${kill_flags[@]}" \
+    --out="$net_dir/kill.inproc.csv" > "$net_dir/kill.inproc.out" &
+inproc_pid=$!
+kill_sock="unix:$net_dir/kill.sock"
+FEDCLUST_THREADS=1 ./build/tools/fedclust_server "${kill_flags[@]}" \
+    --listen="$kill_sock" --workers=2 --net-timeout-ms=5000 \
+    --metrics-out="$net_dir/kill.metrics.jsonl" \
+    --journal-out="$net_dir/kill.journal.jsonl" \
+    --out="$net_dir/kill.csv" > "$net_dir/kill.out" 2>&1 &
+server_pid=$!
+start_kill_worker() {  # $1 = worker tag, $2 = incarnation tag
+  FEDCLUST_THREADS=1 ./build/tools/fedclust_worker "${kill_flags[@]}" \
+      --connect="$kill_sock" --checkpoint-state="$net_dir/kill.$1.state" \
+      > "$net_dir/kill.$1.$2.log" 2>&1 &
+}
+start_kill_worker w0 a; w0_pid=$!
+start_kill_worker w1 a; w1_pid=$!
+for _ in $(seq 1 200); do
+  grep -q 'round 1 ' "$net_dir/kill.out" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q 'round 1 ' "$net_dir/kill.out" ||
+  { echo "transport smoke: campaign never reached round 1" >&2; exit 1; }
+kill -9 "$w0_pid"
+wait "$w0_pid" 2>/dev/null || true
+start_kill_worker w0 b; w0b_pid=$!
+wait "$server_pid" ||
+  { echo "transport smoke: server did not survive the kill -9" >&2
+    cat "$net_dir/kill.out" >&2; exit 1; }
+wait "$w1_pid" "$w0b_pid" ||
+  { echo "transport smoke: surviving/restarted worker failed" >&2; exit 1; }
+wait "$inproc_pid" ||
+  { echo "transport smoke: in-process reference run failed" >&2; exit 1; }
+grep -q '"fault\.worker_crash":[1-9]' "$net_dir/kill.metrics.jsonl" ||
+  { echo "transport smoke: crash not billed in fault.worker_crash" >&2
+    exit 1; }
+grep -q '"ev":"worker_restart"' "$net_dir/kill.journal.jsonl" ||
+  { echo "transport smoke: no worker_restart journal row" >&2; exit 1; }
+grep -q 'resuming from state file' "$net_dir/kill.w0.b.log" ||
+  { echo "transport smoke: restarted worker did not resume from state" >&2
+    exit 1; }
+cmp "$net_dir/kill.inproc.csv" "$net_dir/kill.csv" ||
+  { echo "transport smoke: trace differs after kill -9 + restart" >&2
+    exit 1; }
+[ "$(state_line "$net_dir/kill.inproc.out")" = \
+  "$(state_line "$net_dir/kill.out")" ] ||
+  { echo "transport smoke: state digest differs after kill -9" >&2; exit 1; }
+echo "transport crash-supervision smoke ok"
