@@ -78,7 +78,7 @@ int run(int argc, const char* const* argv) {
   warm.epochs = cfg.algo.fedclust_init_epochs;
   for (std::size_t c = 0; c < fed.n_clients(); ++c) {
     ws.set_flat_params(fed.init_params());
-    fed.client(c).train(ws, warm, fed.train_rng(c, 0xAB1A));
+    fed.client(c)->train(ws, warm, fed.train_rng(c, 0xAB1A));
     full.push_back(ws.flat_params());
     partial.push_back(ws.classifier_params());
   }

@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "fl/codec.h"
+#include "fl/stream_agg.h"
 #include "tensor/conv_fused.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
@@ -197,6 +198,51 @@ void BM_FloatAggregate(benchmark::State& state) {
                           static_cast<std::int64_t>(n * clients));
 }
 BENCHMARK(BM_FloatAggregate);
+
+// Streaming tree reduction (the per-round aggregation path) against the
+// materialized baseline: collect every update first, then one
+// weighted_average pass. Arg = cohort size; the streaming path's win is
+// memory (each update is folded into double accumulators on delivery),
+// not FLOPs, so throughput should track the baseline closely.
+void BM_StreamingAggregate(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<float>> updates;
+  for (std::size_t c = 0; c < clients; ++c) {
+    updates.push_back(random_tensor({n}, 7 + c).vec());
+  }
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    fl::StreamingAggregator agg(clients, n, /*int8_mode=*/false);
+    for (std::size_t c = 0; c < clients; ++c) {
+      agg.submit(c, updates[c].data(), n, 1.0);
+    }
+    agg.finish(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * clients));
+}
+BENCHMARK(BM_StreamingAggregate)->Arg(8)->Arg(64);
+
+void BM_MaterializedAggregate(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<float>> updates;
+  for (std::size_t c = 0; c < clients; ++c) {
+    updates.push_back(random_tensor({n}, 7 + c).vec());
+  }
+  for (auto _ : state) {
+    // O(cohort x model) resident: the pre-streaming shape of a round.
+    std::vector<std::vector<float>> collected = updates;
+    std::vector<std::pair<const std::vector<float>*, double>> entries;
+    for (const auto& u : collected) entries.emplace_back(&u, 1.0);
+    benchmark::DoNotOptimize(fl::weighted_average(entries));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * clients));
+}
+BENCHMARK(BM_MaterializedAggregate)->Arg(8)->Arg(64);
 
 void BM_LeNetForward(benchmark::State& state) {
   nn::Model m = nn::lenet5(3, 16, 10, 1);

@@ -61,11 +61,11 @@ int main() {
   // Personalize the restored model for the first client of cluster 0.
   std::size_t client = 0;
   while (algo.assignment()[client] != 0) ++client;
-  const double before = fed.client(client).evaluate(restored) * 100.0;
+  const double before = fed.client(client)->evaluate(restored) * 100.0;
   fl::LocalTrainOptions fine = cfg.local;
   fine.epochs = 5;
-  fed.client(client).train(restored, fine, util::Rng(99));
-  const double after = fed.client(client).evaluate(restored) * 100.0;
+  fed.client(client)->train(restored, fine, util::Rng(99));
+  const double after = fed.client(client)->evaluate(restored) * 100.0;
 
   util::TablePrinter t("personalizing the restored checkpoint");
   t.set_headers({"client", "cluster", "acc before %", "acc after %"});

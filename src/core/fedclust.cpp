@@ -48,7 +48,7 @@ void FedClust::setup() {
       OBS_SPAN_ARG("client.warmup", c);
       fed_.bill_download(p);
       partials[c] = partial_weights_after_warmup(
-          ws, rx_init, fed_.client(c), fed_.train_rng(c, 0xFEDC0000));
+          ws, rx_init, *fed_.client(c), fed_.train_rng(c, 0xFEDC0000));
       partials[c] = fed_.upload_payload(fl::wire::MessageKind::kWarmupWeights,
                                         partials[c], c, 0xFEDC0000);
     });

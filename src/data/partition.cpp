@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace fedclust::data {
 
@@ -35,85 +36,126 @@ void fill_dataset(Dataset& ds, std::size_t n,
 
 }  // namespace
 
-std::vector<ClientData> make_federated_data(const SyntheticSpec& spec,
-                                            const FederatedConfig& cfg,
-                                            std::uint64_t seed) {
-  if (cfg.n_clients == 0) {
+PartitionPlan::PartitionPlan(SyntheticSpec spec, FederatedConfig cfg,
+                             std::uint64_t seed)
+    : spec_(std::move(spec)),
+      cfg_(std::move(cfg)),
+      seed_(seed),
+      gen_(spec_, seed) {
+  if (cfg_.n_clients == 0) {
     throw std::invalid_argument("make_federated_data: zero clients");
   }
-  if (cfg.partition != "skew" && cfg.partition != "dirichlet" &&
-      cfg.partition != "iid") {
+  if (cfg_.partition != "skew" && cfg_.partition != "dirichlet" &&
+      cfg_.partition != "iid") {
     throw std::invalid_argument("make_federated_data: unknown partition " +
-                                cfg.partition);
+                                cfg_.partition);
+  }
+  if (cfg_.quantity_skew_factor < 1.0) {
+    throw std::invalid_argument(
+        "make_federated_data: quantity_skew_factor must be >= 1");
   }
 
-  const SyntheticGenerator gen(spec, seed);
-  util::Rng root(seed ^ 0x5eedf00dULL);
+  const util::Rng root(seed_ ^ 0x5eedf00dULL);
   util::Rng assign_rng = root.split(0);
 
   // Pre-draw the label-set pool when ground-truth groups are requested.
-  std::vector<std::vector<double>> pool_weights;
-  if (cfg.label_set_pool > 0) {
-    for (std::size_t g = 0; g < cfg.label_set_pool; ++g) {
-      if (cfg.partition == "dirichlet") {
-        pool_weights.push_back(
-            assign_rng.dirichlet(cfg.dirichlet_alpha, spec.num_classes));
-      } else if (cfg.partition == "skew") {
+  if (cfg_.label_set_pool > 0) {
+    for (std::size_t g = 0; g < cfg_.label_set_pool; ++g) {
+      if (cfg_.partition == "dirichlet") {
+        pool_weights_.push_back(
+            assign_rng.dirichlet(cfg_.dirichlet_alpha, spec_.num_classes));
+      } else if (cfg_.partition == "skew") {
         const auto set = assign_rng.sample_without_replacement(
-            spec.num_classes,
-            labels_per_client(cfg.skew_fraction, spec.num_classes));
-        pool_weights.push_back(
-            weights_from_label_set(set, spec.num_classes));
+            spec_.num_classes,
+            labels_per_client(cfg_.skew_fraction, spec_.num_classes));
+        pool_weights_.push_back(weights_from_label_set(set, spec_.num_classes));
       } else {  // iid pool degenerates to uniform
-        pool_weights.emplace_back(spec.num_classes,
-                                  1.0 / static_cast<double>(spec.num_classes));
+        pool_weights_.emplace_back(
+            spec_.num_classes, 1.0 / static_cast<double>(spec_.num_classes));
       }
     }
   }
 
+  // One assignment-stream sweep: draws only, no sample synthesis. Costs
+  // O(n) RNG draws once; each later sketch(i) replays at most one stride.
+  checkpoints_.reserve(cfg_.n_clients / kCheckpointStride + 1);
+  for (std::size_t i = 0; i < cfg_.n_clients; ++i) {
+    if (i % kCheckpointStride == 0) checkpoints_.push_back(assign_rng);
+    (void)replay_one(assign_rng, i);
+  }
+}
+
+ClientSketch PartitionPlan::replay_one(util::Rng& rng, std::size_t i) const {
+  ClientSketch sk;
+  sk.group_id = i;
+  if (cfg_.label_set_pool > 0) {
+    sk.group_id = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(cfg_.label_set_pool)));
+    sk.label_weights = pool_weights_[sk.group_id];
+  } else if (cfg_.partition == "skew") {
+    const auto set = rng.sample_without_replacement(
+        spec_.num_classes,
+        labels_per_client(cfg_.skew_fraction, spec_.num_classes));
+    sk.label_weights = weights_from_label_set(set, spec_.num_classes);
+  } else if (cfg_.partition == "dirichlet") {
+    sk.label_weights = rng.dirichlet(cfg_.dirichlet_alpha, spec_.num_classes);
+  } else {  // iid
+    sk.label_weights.assign(spec_.num_classes,
+                            1.0 / static_cast<double>(spec_.num_classes));
+  }
+
+  sk.n_train = cfg_.train_per_client;
+  if (cfg_.quantity_skew_factor > 1.0) {
+    // Log-uniform draw keeps the geometric mean at train_per_client.
+    const double lo = std::log(1.0 / cfg_.quantity_skew_factor);
+    const double hi = std::log(cfg_.quantity_skew_factor);
+    sk.n_train = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::lround(static_cast<double>(cfg_.train_per_client) *
+                           std::exp(rng.uniform(lo, hi)))));
+  }
+  sk.n_test = cfg_.test_per_client;
+  return sk;
+}
+
+ClientSketch PartitionPlan::sketch(std::size_t i) const {
+  if (i >= cfg_.n_clients) {
+    throw std::out_of_range("PartitionPlan::sketch: client out of range");
+  }
+  util::Rng rng = checkpoints_[i / kCheckpointStride];
+  for (std::size_t j = (i / kCheckpointStride) * kCheckpointStride; j < i;
+       ++j) {
+    (void)replay_one(rng, j);
+  }
+  return replay_one(rng, i);
+}
+
+ClientData PartitionPlan::materialize_from(ClientSketch sketch,
+                                           std::size_t i) const {
+  ClientData cd{Dataset(spec_.channels, spec_.hw, spec_.num_classes),
+                Dataset(spec_.channels, spec_.hw, spec_.num_classes),
+                std::move(sketch.label_weights), sketch.group_id};
+  // Per-client stream: client data never depends on other clients.
+  util::Rng data_rng = util::Rng(seed_ ^ 0x5eedf00dULL).split(1000 + i);
+  fill_dataset(cd.train, sketch.n_train, cd.label_weights, gen_, data_rng);
+  fill_dataset(cd.test, sketch.n_test, cd.label_weights, gen_, data_rng);
+  return cd;
+}
+
+ClientData PartitionPlan::materialize(std::size_t i) const {
+  return materialize_from(sketch(i), i);
+}
+
+std::vector<ClientData> make_federated_data(const SyntheticSpec& spec,
+                                            const FederatedConfig& cfg,
+                                            std::uint64_t seed) {
+  const PartitionPlan plan(spec, cfg, seed);
+  util::Rng assign_rng = plan.checkpoints_.front();
   std::vector<ClientData> clients;
   clients.reserve(cfg.n_clients);
   for (std::size_t i = 0; i < cfg.n_clients; ++i) {
-    ClientData cd{Dataset(spec.channels, spec.hw, spec.num_classes),
-                  Dataset(spec.channels, spec.hw, spec.num_classes),
-                  {},
-                  i};
-    if (cfg.label_set_pool > 0) {
-      cd.group_id = static_cast<std::size_t>(assign_rng.randint(
-          0, static_cast<std::int64_t>(cfg.label_set_pool)));
-      cd.label_weights = pool_weights[cd.group_id];
-    } else if (cfg.partition == "skew") {
-      const auto set = assign_rng.sample_without_replacement(
-          spec.num_classes,
-          labels_per_client(cfg.skew_fraction, spec.num_classes));
-      cd.label_weights = weights_from_label_set(set, spec.num_classes);
-    } else if (cfg.partition == "dirichlet") {
-      cd.label_weights =
-          assign_rng.dirichlet(cfg.dirichlet_alpha, spec.num_classes);
-    } else {  // iid
-      cd.label_weights.assign(spec.num_classes,
-                              1.0 / static_cast<double>(spec.num_classes));
-    }
-
-    // Per-client stream: client data never depends on other clients.
-    util::Rng data_rng = root.split(1000 + i);
-    std::size_t n_train = cfg.train_per_client;
-    if (cfg.quantity_skew_factor > 1.0) {
-      // Log-uniform draw keeps the geometric mean at train_per_client.
-      const double lo = std::log(1.0 / cfg.quantity_skew_factor);
-      const double hi = std::log(cfg.quantity_skew_factor);
-      n_train = std::max<std::size_t>(
-          1, static_cast<std::size_t>(std::lround(
-                 static_cast<double>(cfg.train_per_client) *
-                 std::exp(assign_rng.uniform(lo, hi)))));
-    } else if (cfg.quantity_skew_factor < 1.0) {
-      throw std::invalid_argument(
-          "make_federated_data: quantity_skew_factor must be >= 1");
-    }
-    fill_dataset(cd.train, n_train, cd.label_weights, gen, data_rng);
-    fill_dataset(cd.test, cfg.test_per_client, cd.label_weights, gen,
-                 data_rng);
-    clients.push_back(std::move(cd));
+    clients.push_back(
+        plan.materialize_from(plan.replay_one(assign_rng, i), i));
   }
   return clients;
 }

@@ -50,6 +50,64 @@ struct ClientData {
   std::size_t group_id = 0;
 };
 
+// Assignment-only view of one client: everything the partitioner decided
+// about client i before any sample was synthesized.
+struct ClientSketch {
+  std::vector<double> label_weights;
+  std::size_t n_train = 0;
+  std::size_t n_test = 0;
+  std::size_t group_id = 0;
+};
+
+// The partition as a pure function of (spec, cfg, seed): client i's data can
+// be regenerated on demand, bit-identical to the eager path, without holding
+// any other client in memory.
+//
+// The assignment stream (label sets / Dirichlet draws / quantity skew) is
+// inherently sequential — client i's draws follow client i-1's — so the
+// constructor replays it once (RNG draws only, no sample synthesis) and
+// checkpoints the generator every kCheckpointStride clients. sketch(i) then
+// replays at most kCheckpointStride clients from the nearest checkpoint;
+// materialize(i) additionally synthesizes the samples from the per-client
+// data stream, which was independent per client all along.
+class PartitionPlan {
+ public:
+  PartitionPlan(SyntheticSpec spec, FederatedConfig cfg, std::uint64_t seed);
+
+  std::size_t n_clients() const { return cfg_.n_clients; }
+  const SyntheticSpec& spec() const { return spec_; }
+  const FederatedConfig& cfg() const { return cfg_; }
+
+  // Assignment decisions for client i (cheap: no sample synthesis).
+  ClientSketch sketch(std::size_t i) const;
+  // Full client data, bit-identical to make_federated_data(...)[i].
+  ClientData materialize(std::size_t i) const;
+
+  static constexpr std::size_t kCheckpointStride = 1024;
+
+ private:
+  // The eager path iterates the assignment stream sequentially through the
+  // same replay_one/materialize_from pair, so eager and on-demand clients
+  // are bit-identical by construction.
+  friend std::vector<ClientData> make_federated_data(const SyntheticSpec& spec,
+                                                     const FederatedConfig& cfg,
+                                                     std::uint64_t seed);
+
+  ClientData materialize_from(ClientSketch sketch, std::size_t i) const;
+
+  // Replays client i's assignment draws from `rng` (positioned at the start
+  // of client i's draws) and advances it past them.
+  ClientSketch replay_one(util::Rng& rng, std::size_t i) const;
+
+  SyntheticSpec spec_;
+  FederatedConfig cfg_;
+  std::uint64_t seed_;
+  SyntheticGenerator gen_;
+  std::vector<std::vector<double>> pool_weights_;
+  // checkpoints_[k] = assignment stream positioned at client k*stride.
+  std::vector<util::Rng> checkpoints_;
+};
+
 // Deterministic in (spec, cfg, seed).
 std::vector<ClientData> make_federated_data(const SyntheticSpec& spec,
                                             const FederatedConfig& cfg,

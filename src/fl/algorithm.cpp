@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/mem.h"
 #include "util/signal.h"
 #include "util/timer.h"
 
@@ -156,6 +157,10 @@ Trace FlAlgorithm::run() {
       FC_LOG_DEBUG << name() << "/" << trace.dataset << " round " << r
                    << " acc=" << rec.avg_local_test_acc
                    << " clusters=" << rec.n_clusters;
+      // Refresh the RSS high-water mark so it rides into this round's JSONL
+      // line (and the end-of-run summary) alongside the store.cache_*
+      // counters — the scale smoke asserts against both.
+      OBS_GAUGE_SET("mem.peak_rss_kb", util::peak_rss_kb());
       auto& registry = obs::MetricsRegistry::instance();
       if (obs::MetricsRegistry::enabled() && registry.round_log_open()) {
         registry.log_round(

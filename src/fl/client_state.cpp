@@ -1,0 +1,70 @@
+#include "fl/client_state.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fedclust::fl {
+
+void SparseClientParams::reset(std::size_t n_clients,
+                               std::vector<float> default_value) {
+  n_clients_ = n_clients;
+  default_ = std::move(default_value);
+  touched_.clear();
+}
+
+const std::vector<float>& SparseClientParams::get(std::size_t i) const {
+  if (i >= n_clients_) {
+    throw std::out_of_range("SparseClientParams: client out of range");
+  }
+  const auto it = touched_.find(i);
+  return it == touched_.end() ? default_ : it->second;
+}
+
+std::vector<float>& SparseClientParams::touch(std::size_t i) {
+  if (i >= n_clients_) {
+    throw std::out_of_range("SparseClientParams: client out of range");
+  }
+  const auto it = touched_.find(i);
+  if (it != touched_.end()) return it->second;
+  return touched_.emplace(i, default_).first->second;
+}
+
+void SparseClientParams::save(util::BinaryWriter& w) const {
+  w.write_u64(n_clients_);
+  w.write_u64(touched_.size());
+  for (const auto& [id, vec] : touched_) {
+    w.write_u64(id);
+    w.write_f32_vec(vec);
+  }
+}
+
+void SparseClientParams::load(util::BinaryReader& r) {
+  const std::uint64_t n = r.read_u64();
+  if (n != n_clients_) {
+    throw std::runtime_error("SparseClientParams: population mismatch");
+  }
+  const std::uint64_t count = r.read_u64();
+  if (count > n) {
+    throw std::runtime_error("SparseClientParams: touched count exceeds "
+                             "population");
+  }
+  touched_.clear();
+  std::uint64_t prev = 0;
+  bool have_prev = false;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const std::uint64_t id = r.read_u64();
+    if (id >= n || (have_prev && id <= prev)) {
+      throw std::runtime_error("SparseClientParams: corrupt sparse record");
+    }
+    std::vector<float> vec = r.read_f32_vec();
+    if (vec.size() != default_.size()) {
+      throw std::runtime_error("SparseClientParams: dimension mismatch");
+    }
+    touched_.emplace_hint(touched_.end(), static_cast<std::size_t>(id),
+                          std::move(vec));
+    prev = id;
+    have_prev = true;
+  }
+}
+
+}  // namespace fedclust::fl

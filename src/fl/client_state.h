@@ -1,0 +1,62 @@
+#pragma once
+
+// Sparse per-client server state.
+//
+// Algorithms that keep a vector per client (LocalOnly's weights, Ditto's
+// personal models, SCAFFOLD's control variates, FedDyn's lagged gradients)
+// used to allocate n_clients dense vectors up front — an O(population *
+// model) footprint that defeats the virtual client store. SparseClientParams
+// stores only the slots a round has actually touched; every untouched
+// client logically holds the shared default (θ0 or zeros), exactly what the
+// dense representation held before its first write. Snapshots persist only
+// the touched slots, sorted by client id, so checkpoint size scales with
+// participation, not population (docs/INVARIANTS.md §Scale).
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "util/serialization.h"
+
+namespace fedclust::fl {
+
+class SparseClientParams {
+ public:
+  SparseClientParams() = default;
+
+  // Resets to `n_clients` slots, all logically holding `default_value`.
+  void reset(std::size_t n_clients, std::vector<float> default_value);
+
+  std::size_t n_clients() const { return n_clients_; }
+  std::size_t touched_count() const { return touched_.size(); }
+
+  // Read view: the client's vector, or the shared default when untouched.
+  // Const and allocation-free, so concurrent get() calls are safe while no
+  // thread is touch()ing.
+  const std::vector<float>& get(std::size_t i) const;
+
+  // Materializes client i's slot (copying the default on first touch) and
+  // returns a mutable reference. Not safe concurrently with anything:
+  // pre-touch the round's cohort sequentially before a parallel fan-out —
+  // after that, each worker's reference is stable and per-slot writes
+  // don't race (map nodes never move).
+  std::vector<float>& touch(std::size_t i);
+
+  // Layout: u64 n_clients, u64 touched count, then (u64 id, f32_vec) pairs
+  // in strictly ascending id order.
+  void save(util::BinaryWriter& w) const;
+  // Requires reset() first (the default defines the expected dimension);
+  // throws std::runtime_error on any structural corruption — id out of
+  // range, ids not strictly ascending, dimension mismatch, or a population
+  // that disagrees with the reset.
+  void load(util::BinaryReader& r);
+
+ private:
+  std::size_t n_clients_ = 0;
+  std::vector<float> default_;
+  // Ordered map: save() iterates in id order for free, and node-based
+  // storage keeps touch()ed references stable across later touches.
+  std::map<std::size_t, std::vector<float>> touched_;
+};
+
+}  // namespace fedclust::fl

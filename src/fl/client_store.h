@@ -1,0 +1,95 @@
+#pragma once
+
+// Client storage behind Federation: either every SimClient held in memory
+// (the classic path), or clients regenerated on demand as a pure function
+// of (seed, client id) behind an LRU-bounded materialization cache — which
+// is what makes million-client populations fit on one machine.
+//
+// acquire() hands out shared ownership: an evicted client stays alive for
+// whoever is still training on it, so eviction can never invalidate an
+// in-flight worker. Regeneration is pure, so nothing about a run's
+// trajectory ever depends on cache capacity or hit pattern — the cache is
+// a memory/CPU dial only (docs/INVARIANTS.md §Scale).
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "data/partition.h"
+#include "fl/client.h"
+
+namespace fedclust::fl {
+
+class ClientStore {
+ public:
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  virtual ~ClientStore() = default;
+
+  virtual std::size_t size() const = 0;
+  // Shared ownership of client `id`; materializes it if needed. Thread-safe.
+  virtual std::shared_ptr<const SimClient> acquire(std::size_t id) = 0;
+  virtual CacheStats stats() const { return {}; }
+};
+
+// All clients materialized up front — wraps the eager build.
+class MaterializedClientStore : public ClientStore {
+ public:
+  explicit MaterializedClientStore(std::vector<data::ClientData> data);
+
+  std::size_t size() const override { return clients_.size(); }
+  std::shared_ptr<const SimClient> acquire(std::size_t id) override;
+
+ private:
+  std::vector<std::shared_ptr<const SimClient>> clients_;
+};
+
+// Clients regenerated on demand from a PartitionPlan, behind an LRU cache
+// of at most `capacity` materialized clients. Concurrent acquires of the
+// same uncached id are deduplicated: one thread builds, the rest wait on
+// the build slot. For any fixed sequence of acquire() calls the hit/miss/
+// eviction sequence is deterministic (plain LRU, ties impossible).
+class VirtualClientStore : public ClientStore {
+ public:
+  VirtualClientStore(std::shared_ptr<const data::PartitionPlan> plan,
+                     std::size_t capacity);
+
+  std::size_t size() const override { return plan_->n_clients(); }
+  std::shared_ptr<const SimClient> acquire(std::size_t id) override;
+  CacheStats stats() const override;
+
+  std::size_t capacity() const { return capacity_; }
+  // Currently materialized entries (for tests; racy under concurrency).
+  std::size_t cached() const;
+
+ private:
+  struct BuildSlot {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const SimClient> client;
+  };
+  struct Entry {
+    std::shared_ptr<const SimClient> client;
+    std::list<std::size_t>::iterator lru_it;
+  };
+
+  std::shared_ptr<const data::PartitionPlan> plan_;
+  std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::list<std::size_t> lru_;  // front = most recently used
+  std::unordered_map<std::size_t, Entry> cache_;
+  std::unordered_map<std::size_t, std::shared_ptr<BuildSlot>> building_;
+  CacheStats stats_;
+};
+
+}  // namespace fedclust::fl

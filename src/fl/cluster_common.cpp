@@ -1,8 +1,10 @@
 #include "fl/cluster_common.h"
 
+#include <memory>
 #include <stdexcept>
 
 #include "fl/parallel_round.h"
+#include "fl/stream_agg.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 
@@ -23,12 +25,35 @@ void cluster_fedavg_round(Federation& fed, std::size_t round,
     OBS_JOURNAL(round, c, kCluster, assignment[c]);
   }
 
+  // Each sampled client gets a slot in its cluster's reduction tree, in
+  // client-index order — so the per-cluster tree shape (and with it every
+  // FP association) is fixed before the fan-out starts. `sampled_members`
+  // distinguishes clusters whose entire sampled membership was lost to
+  // faults this round from unsampled ones.
+  std::vector<std::size_t> cluster_slot(sampled.size(), 0);
+  std::vector<std::size_t> sampled_members(cluster_models.size(), 0);
+  for (std::size_t idx = 0; idx < sampled.size(); ++idx) {
+    const std::size_t k = assignment[sampled[idx]];
+    cluster_slot[idx] = sampled_members[k]++;
+  }
+  const bool int8_mode = fed.int8_aggregation_active();
+  std::vector<std::unique_ptr<StreamingAggregator>> aggs(
+      cluster_models.size());
+  for (std::size_t k = 0; k < cluster_models.size(); ++k) {
+    if (sampled_members[k] > 0) {
+      aggs[k] = std::make_unique<StreamingAggregator>(sampled_members[k], p,
+                                                      int8_mode);
+    }
+  }
+
   // Client announces its cluster id (negligible) and receives that
   // cluster's model; assignment and cluster models are round-constant
-  // during the fan-out.
+  // during the fan-out. Updates stream straight into their cluster's tree
+  // and are freed — per-round memory stays O(sampled cohort).
   ParallelRoundRunner runner(fed);
-  const auto results = runner.train_clients(
-      sampled, [&](std::size_t, std::size_t c) {
+  runner.train_clients_into(
+      sampled,
+      [&](std::size_t, std::size_t c) {
         RoundTrainJob job;
         job.start = &cluster_models[assignment[c]];
         job.opts = fed.cfg().local;
@@ -37,39 +62,26 @@ void cluster_fedavg_round(Federation& fed, std::size_t round,
         job.upload_floats = p;
         job.round = round;
         return job;
+      },
+      [&](std::size_t idx, RoundTrainResult&& res) {
+        StreamingAggregator& agg = *aggs[assignment[sampled[idx]]];
+        if (res.delivered) {
+          agg.submit(cluster_slot[idx], res.params.data(), res.params.size(),
+                     res.weight, std::move(res.encoded));
+        } else {
+          agg.skip(cluster_slot[idx]);
+        }
       });
 
-  // cluster -> the *delivered* updates, grouped in client-index order;
-  // `sampled_members` distinguishes clusters whose entire sampled
-  // membership was lost to faults this round from unsampled ones.
-  std::vector<std::vector<const RoundTrainResult*>> per_cluster(
-      cluster_models.size());
-  std::vector<std::size_t> sampled_members(cluster_models.size(), 0);
-  for (const auto& res : results) {
-    const std::size_t k = assignment[res.client];
-    ++sampled_members[k];
-    if (res.delivered) per_cluster[k].push_back(&res);
-  }
   for (std::size_t k = 0; k < cluster_models.size(); ++k) {
-    if (per_cluster[k].empty()) {
-      // No surviving member update: the cluster model is carried forward
-      // unchanged, and its clients keep evaluating/training against this
-      // last cluster model — graceful degradation, never an empty
-      // aggregation. Distinguish "nobody sampled" (normal under partial
-      // participation) from "everyone sampled was lost" (a fault hollowed
-      // the cluster out).
-      if (sampled_members[k] > 0) {
-        OBS_COUNTER_ADD("fault.empty_cluster_rounds", 1);
-      }
-      continue;
+    if (!aggs[k]) continue;  // nobody sampled: normal partial participation
+    if (!aggs[k]->finish(cluster_models[k])) {
+      // Every sampled member's update was lost: the cluster model is
+      // carried forward unchanged, and its clients keep evaluating/training
+      // against this last cluster model — graceful degradation, never an
+      // empty aggregation.
+      OBS_COUNTER_ADD("fault.empty_cluster_rounds", 1);
     }
-    if (try_int8_aggregate(cluster_models[k], per_cluster[k])) continue;
-    std::vector<std::pair<const std::vector<float>*, double>> entries;
-    entries.reserve(per_cluster[k].size());
-    for (const RoundTrainResult* r : per_cluster[k]) {
-      entries.emplace_back(&r->params, r->weight);
-    }
-    cluster_models[k] = weighted_average(entries);
   }
 }
 

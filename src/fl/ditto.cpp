@@ -10,7 +10,7 @@ Ditto::Ditto(Federation& fed, float lambda)
 
 void Ditto::setup() {
   global_ = fed_.init_params();
-  personal_.assign(fed_.n_clients(), fed_.init_params());
+  personal_.reset(fed_.n_clients(), fed_.init_params());
 }
 
 void Ditto::round(std::size_t r) {
@@ -25,6 +25,10 @@ void Ditto::round(std::size_t r) {
   const std::vector<float> rx_global = fed_.through_wire(
       wire::MessageKind::kModelPull, global_, wire::kServerSender, r);
 
+  // Materialize the cohort's personal slots sequentially so the parallel
+  // fan-out only writes through stable references.
+  for (const std::size_t c : sampled) personal_.touch(c);
+
   std::vector<std::vector<float>> updates(sampled.size());
   std::vector<double> weights(sampled.size());
   std::vector<char> delivered(sampled.size(), 1);
@@ -32,21 +36,23 @@ void Ditto::round(std::size_t r) {
   runner.for_each_client(sampled, [&](std::size_t idx, std::size_t c,
                                       nn::Model& ws) {
     fed_.bill_download(p);
+    const auto client = fed_.client(c);
 
     // (1) Global-objective step: plain FedAvg local training.
     ws.set_flat_params(rx_global);
-    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
+    client->train(ws, fed_.cfg().local, fed_.train_rng(c, r));
     updates[idx] = ws.flat_params();
-    weights[idx] = static_cast<double>(fed_.client(c).n_train());
+    weights[idx] = static_cast<double>(client->n_train());
     delivered[idx] = fed_.deliver_update(c, r, updates[idx], p) ? 1 : 0;
 
     // (2) Personal-objective step: prox-regularized training of v_i toward
     // the global model it just downloaded. Stays on-device: no extra comm,
     // and it proceeds even when the global-step upload was lost.
-    ws.set_flat_params(personal_[c]);
-    fed_.client(c).train(ws, prox_opts, fed_.train_rng(c, 0xD177000 + r),
-                         &rx_global);
-    personal_[c] = ws.flat_params();
+    std::vector<float>& vi = personal_.touch(c);
+    ws.set_flat_params(vi);
+    client->train(ws, prox_opts, fed_.train_rng(c, 0xD177000 + r),
+                  &rx_global);
+    vi = ws.flat_params();
   });
 
   std::vector<std::pair<const std::vector<float>*, double>> entries;
@@ -63,18 +69,20 @@ void Ditto::round(std::size_t r) {
 double Ditto::evaluate_all() {
   return fed_.average_local_accuracy(
       [this](std::size_t i) -> const std::vector<float>& {
-        return personal_[i];
+        return personal_.get(i);
       });
 }
 
 void Ditto::save_state(util::BinaryWriter& w) const {
   w.write_f32_vec(global_);
-  write_nested_f32(w, personal_);
+  personal_.save(w);
 }
 
 void Ditto::load_state(util::BinaryReader& r) {
   global_ = r.read_f32_vec();
-  personal_ = read_nested_f32(r);
+  // Resume skips setup(): rebuild the θ0 default before loading slots.
+  personal_.reset(fed_.n_clients(), fed_.init_params());
+  personal_.load(r);
 }
 
 }  // namespace fedclust::fl

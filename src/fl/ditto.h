@@ -9,6 +9,7 @@
 // (lambda -> 0) and the global model (lambda -> inf).
 
 #include "fl/algorithm.h"
+#include "fl/client_state.h"
 
 namespace fedclust::fl {
 
@@ -20,7 +21,7 @@ class Ditto : public FlAlgorithm {
 
   const std::vector<float>& global_params() const { return global_; }
   const std::vector<float>& personal_params(std::size_t client) const {
-    return personal_.at(client);
+    return personal_.get(client);
   }
 
   void save_state(util::BinaryWriter& w) const override;
@@ -34,7 +35,7 @@ class Ditto : public FlAlgorithm {
  private:
   float lambda_;
   std::vector<float> global_;
-  std::vector<std::vector<float>> personal_;
+  SparseClientParams personal_;  // untouched clients hold θ0
 };
 
 }  // namespace fedclust::fl

@@ -1,6 +1,8 @@
 #include "fl/fedavg.h"
 
 #include "fl/parallel_round.h"
+#include "fl/stream_agg.h"
+#include "obs/metrics.h"
 
 namespace fedclust::fl {
 
@@ -16,9 +18,16 @@ void FedAvg::round(std::size_t r) {
   LocalTrainOptions opts = fed_.cfg().local;
   opts.prox_mu = prox_mu_;
 
+  // Updates stream straight into the fixed reduction tree as they are
+  // delivered — each worker's parameter vector is folded into a double
+  // accumulator and freed, so the round holds O(cohort) accumulators, never
+  // the whole cohort's float updates.
+  StreamingAggregator agg(sampled.size(), p,
+                          fed_.int8_aggregation_active());
   ParallelRoundRunner runner(fed_);
-  const auto results = runner.train_clients(
-      sampled, [&](std::size_t, std::size_t c) {
+  runner.train_clients_into(
+      sampled,
+      [&](std::size_t, std::size_t c) {
         RoundTrainJob job;
         job.start = &global_;  // server -> client: global model
         job.opts = opts;
@@ -28,11 +37,19 @@ void FedAvg::round(std::size_t r) {
         job.upload_floats = p;  // client -> server: updated model
         job.round = r;
         return job;
+      },
+      [&](std::size_t idx, RoundTrainResult&& res) {
+        // Lost or quarantined updates are skipped slots.
+        if (res.delivered) {
+          agg.submit(idx, res.params.data(), res.params.size(), res.weight,
+                     std::move(res.encoded));
+        } else {
+          agg.skip(idx);
+        }
       });
 
-  // Lost or quarantined updates are filtered; an all-lost round keeps the
-  // current global model.
-  aggregate_or_keep(global_, results);
+  // An all-lost round keeps the current global model.
+  if (!agg.finish(global_)) OBS_COUNTER_ADD("fault.empty_rounds", 1);
 }
 
 double FedAvg::evaluate_all() {

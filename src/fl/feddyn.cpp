@@ -10,8 +10,8 @@ FedDyn::FedDyn(Federation& fed, float alpha)
 
 void FedDyn::setup() {
   global_ = fed_.init_params();
-  h_client_.assign(fed_.n_clients(),
-                   std::vector<float>(fed_.model_size(), 0.0f));
+  h_client_.reset(fed_.n_clients(),
+                  std::vector<float>(fed_.model_size(), 0.0f));
   h_server_.assign(fed_.model_size(), 0.0);
 }
 
@@ -33,8 +33,11 @@ void FedDyn::round(std::size_t r) {
         job.opts = opts;
         job.rng = fed_.train_rng(c, r);
         job.prox_ref = &global_;
+        // Workers only read h_i (get() never materializes); refreshes are
+        // sequential, after the fan-out joins.
+        const std::vector<float>& h = h_client_.get(c);
         std::vector<float> offset(p);
-        for (std::size_t j = 0; j < p; ++j) offset[j] = -h_client_[c][j];
+        for (std::size_t j = 0; j < p; ++j) offset[j] = -h[j];
         job.grad_offset = std::move(offset);
         job.download_floats = p;
         job.upload_floats = p;
@@ -54,7 +57,7 @@ void FedDyn::round(std::size_t r) {
   for (const auto& res : results) {
     if (!res.delivered) continue;
     const auto& local = res.params;
-    auto& h = h_client_[res.client];
+    auto& h = h_client_.touch(res.client);
     for (std::size_t j = 0; j < p; ++j) {
       h[j] -= alpha_ * (local[j] - global_[j]);
     }
@@ -80,13 +83,17 @@ double FedDyn::evaluate_all() {
 
 void FedDyn::save_state(util::BinaryWriter& w) const {
   w.write_f32_vec(global_);
-  write_nested_f32(w, h_client_);
+  h_client_.save(w);
   w.write_f64_vec(h_server_);
 }
 
 void FedDyn::load_state(util::BinaryReader& r) {
   global_ = r.read_f32_vec();
-  h_client_ = read_nested_f32(r);
+  // Resume skips setup(): rebuild the sparse default (zeros) before loading
+  // the touched slots.
+  h_client_.reset(fed_.n_clients(),
+                  std::vector<float>(fed_.model_size(), 0.0f));
+  h_client_.load(r);
   h_server_ = r.read_f64_vec();
 }
 

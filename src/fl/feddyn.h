@@ -11,6 +11,7 @@
 //   theta <- mean(w_i) - h / alpha.
 
 #include "fl/algorithm.h"
+#include "fl/client_state.h"
 
 namespace fedclust::fl {
 
@@ -33,8 +34,8 @@ class FedDyn : public FlAlgorithm {
  private:
   float alpha_;
   std::vector<float> global_;
-  std::vector<std::vector<float>> h_client_;  // persistent per client
-  std::vector<double> h_server_;              // running mean of corrections
+  SparseClientParams h_client_;   // persistent per client, zeros default
+  std::vector<double> h_server_;  // running mean of corrections
 };
 
 }  // namespace fedclust::fl

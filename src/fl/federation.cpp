@@ -45,14 +45,22 @@ const char* decode_span_name(wire::CodecId codec) {
   return wire_span_name("wire.decode/", codec, cache);
 }
 
-std::vector<SimClient> build_clients(std::vector<data::ClientData> data) {
-  std::vector<SimClient> clients;
-  clients.reserve(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    clients.emplace_back(i, std::move(data[i].train),
-                         std::move(data[i].test));
+// Default LRU capacity for virtual mode when --client-cache is 0: enough
+// for a typical sampled cohort plus the eval subsample without rebuild
+// churn, small enough that RSS stays flat at million-client populations.
+constexpr std::size_t kDefaultClientCache = 256;
+
+std::unique_ptr<ClientStore> store_from_cfg(const ExperimentConfig& cfg) {
+  if (cfg.virtual_clients) {
+    const std::size_t cap =
+        cfg.client_cache > 0 ? cfg.client_cache : kDefaultClientCache;
+    return std::make_unique<VirtualClientStore>(
+        std::make_shared<const data::PartitionPlan>(cfg.data_spec, cfg.fed,
+                                                    cfg.seed),
+        cap);
   }
-  return clients;
+  return std::make_unique<MaterializedClientStore>(
+      data::make_federated_data(cfg.data_spec, cfg.fed, cfg.seed));
 }
 
 // Rejects configurations that used to fail silently (a zero sample
@@ -94,17 +102,22 @@ FaultPlan merged_plan(const ExperimentConfig& cfg) {
 }  // namespace
 
 Federation::Federation(ExperimentConfig cfg)
-    : Federation(cfg, data::make_federated_data(cfg.data_spec, cfg.fed,
-                                                cfg.seed)) {}
+    : Federation(std::move(cfg), std::unique_ptr<ClientStore>()) {}
 
 Federation::Federation(ExperimentConfig cfg,
                        std::vector<data::ClientData> data)
+    : Federation(std::move(cfg), std::make_unique<MaterializedClientStore>(
+                                     std::move(data))) {}
+
+// store == nullptr means "build from cfg after validation" — the public
+// cfg-only constructor cannot validate before delegating.
+Federation::Federation(ExperimentConfig cfg, std::unique_ptr<ClientStore> store)
     : cfg_(validated(std::move(cfg))),
       faults_(merged_plan(cfg_), cfg_.seed),
       validator_(faults_.plan().max_update_norm),
-      clients_(build_clients(std::move(data))),
+      store_(store != nullptr ? std::move(store) : store_from_cfg(cfg_)),
       workspace_(nn::build_model(cfg_.model, cfg_.seed)) {
-  if (clients_.empty()) {
+  if (store_->size() == 0) {
     throw std::invalid_argument("Federation: no clients");
   }
   init_params_ = workspace_.flat_params();
@@ -152,7 +165,7 @@ void Federation::release_workspace(nn::Model* m) {
 }
 
 std::vector<std::size_t> Federation::sample_round(std::size_t round) const {
-  const std::size_t n = clients_.size();
+  const std::size_t n = store_->size();
   const auto want = static_cast<std::size_t>(
       cfg_.sample_fraction * static_cast<double>(n));
   std::size_t k = std::clamp<std::size_t>(want, 1, n);
@@ -459,6 +472,22 @@ util::Rng Federation::train_rng(std::size_t client, std::size_t round) const {
                                     round);
 }
 
+std::vector<std::size_t> Federation::eval_ids() const {
+  const std::size_t n = store_->size();
+  if (cfg_.eval_clients == 0 || cfg_.eval_clients >= n) {
+    std::vector<std::size_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+    return ids;
+  }
+  // Fixed for the whole run, drawn from its own stream so enabling the
+  // subsample cannot reshuffle sampling/training/fault draws.
+  auto ids = util::Rng(cfg_.seed)
+                 .split(0xE7A1C1E275ULL)
+                 .sample_without_replacement(n, cfg_.eval_clients);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 double Federation::average_local_accuracy(
     const std::function<const std::vector<float>&(std::size_t)>& params_of) {
   // Per-client accuracies are computed (possibly in parallel) into indexed
@@ -467,24 +496,26 @@ double Federation::average_local_accuracy(
   const auto accs = local_accuracy_distribution(params_of);
   double sum = 0.0;
   for (const double a : accs) sum += a;
-  return sum / static_cast<double>(clients_.size());
+  return sum / static_cast<double>(accs.size());
 }
 
 std::vector<double> Federation::local_accuracy_distribution(
     const std::function<const std::vector<float>&(std::size_t)>& params_of) {
-  std::vector<double> accs(clients_.size());
+  const auto ids = eval_ids();
+  std::vector<double> accs(ids.size());
   ParallelRoundRunner(*this).for_each_index(
-      clients_.size(), [&](std::size_t i, nn::Model& ws) {
+      ids.size(), [&](std::size_t idx, nn::Model& ws) {
+        const std::size_t i = ids[idx];
         OBS_SPAN_ARG("client.eval", i);
         ws.set_flat_params(params_of(i));
-        accs[i] = clients_[i].evaluate(ws);
+        accs[idx] = client(i)->evaluate(ws);
         // Eval sweeps don't carry a round index; the run loop sets the
         // round context around evaluate_all, so out-of-band sweeps journal
         // nothing. Micro-units keep the row integer-only.
         if (obs::EventJournal::enabled()) {
           obs::EventJournal::instance().record_in_context(
               i, obs::JournalEvent::kEval,
-              static_cast<std::uint64_t>(std::llround(accs[i] * 1e6)));
+              static_cast<std::uint64_t>(std::llround(accs[idx] * 1e6)));
         }
       });
   return accs;

@@ -14,6 +14,7 @@
 
 #include "data/partition.h"
 #include "fl/client.h"
+#include "fl/client_store.h"
 #include "fl/comm.h"
 #include "fl/fault.h"
 #include "fl/wire.h"
@@ -96,6 +97,20 @@ struct ExperimentConfig {
   // opt-in lossy compressors.
   wire::CodecId codec = wire::CodecId::kRawF32;
   std::uint64_t seed = 1;
+
+  // Virtual client population: clients are regenerated on demand as a pure
+  // function of (seed, client id) behind an LRU cache of `client_cache`
+  // materialized clients (0 = default capacity), instead of being built up
+  // front. A memory/CPU dial only — trajectories are bit-identical to the
+  // materialized path — so both knobs are excluded from config_fingerprint,
+  // like FEDCLUST_THREADS.
+  bool virtual_clients = false;
+  std::size_t client_cache = 0;
+  // Evaluation-sweep subsample: evaluate_all sweeps this many clients
+  // (deterministically drawn from the seed, fixed for the whole run) instead
+  // of the full population; 0 = every client. Changes recorded accuracies,
+  // so it IS part of config_fingerprint.
+  std::size_t eval_clients = 0;
 };
 
 class Federation {
@@ -109,9 +124,18 @@ class Federation {
   Federation(ExperimentConfig cfg, std::vector<data::ClientData> data);
 
   const ExperimentConfig& cfg() const { return cfg_; }
-  std::size_t n_clients() const { return clients_.size(); }
-  SimClient& client(std::size_t i) { return clients_.at(i); }
-  const SimClient& client(std::size_t i) const { return clients_.at(i); }
+  std::size_t n_clients() const { return store_->size(); }
+
+  // Shared ownership of client i, materializing it on demand in virtual
+  // mode. Hold the returned pointer in a local when using the client across
+  // statements — an evicted client stays alive for exactly as long as
+  // someone holds it. Thread-safe.
+  std::shared_ptr<const SimClient> client(std::size_t i) const {
+    return store_->acquire(i);
+  }
+
+  // The backing store's cache statistics (all-zero for materialized runs).
+  ClientStore::CacheStats store_stats() const { return store_->stats(); }
 
   CommTracker& comm() { return comm_; }
 
@@ -232,7 +256,13 @@ class Federation {
   // workers can derive their streams without synchronization.
   util::Rng train_rng(std::size_t client, std::size_t round) const;
 
-  // Mean local-test accuracy over all clients, where params_of(i) supplies
+  // The client ids evaluate_all sweeps: every client when
+  // cfg().eval_clients is 0 or >= n_clients(), otherwise a sorted
+  // subsample drawn once per run from a dedicated seed-derived stream
+  // (pure in seed, independent of sampling/training streams).
+  std::vector<std::size_t> eval_ids() const;
+
+  // Mean local-test accuracy over eval_ids(), where params_of(i) supplies
   // the flat parameter vector client i should be evaluated with. The sweep
   // runs client-parallel; params_of must be safe to call concurrently for
   // distinct i (return refs to per-client or immutable storage, never to a
@@ -242,6 +272,7 @@ class Federation {
 
   // Per-client accuracy vector under the same protocol — the fairness view
   // (accuracy dispersion across clients) used by the shootout example.
+  // Entry j is the accuracy of client eval_ids()[j].
   std::vector<double> local_accuracy_distribution(
       const std::function<const std::vector<float>&(std::size_t)>& params_of);
 
@@ -255,11 +286,15 @@ class Federation {
                                      std::vector<std::uint8_t>* payload_out =
                                          nullptr) const;
 
+  Federation(ExperimentConfig cfg, std::unique_ptr<ClientStore> store);
+
   ExperimentConfig cfg_;
   Transport* transport_ = nullptr;
   FaultEngine faults_;
   UpdateValidator validator_;
-  std::vector<SimClient> clients_;
+  // mutable: acquiring a client may materialize it into the LRU cache,
+  // which is invisible to every observable result (regeneration is pure).
+  mutable std::unique_ptr<ClientStore> store_;
   CommTracker comm_;
   nn::Model workspace_;
   std::vector<float> init_params_;

@@ -44,7 +44,7 @@ void FedNova::round(std::size_t r) {
     if (!res.delivered) continue;
     const double pi = res.weight / total_weight;
     const double tau = static_cast<double>(
-        fed_.client(res.client).local_steps(fed_.cfg().local));
+        fed_.client(res.client)->local_steps(fed_.cfg().local));
     tau_eff += pi * tau;
     const double inv_tau = 1.0 / tau;
     const auto& w = res.params;

@@ -49,8 +49,8 @@ void Flis::setup() {
     OBS_SPAN_ARG("client.warmup", c);
     fed_.bill_download(p);
     ws.set_flat_params(rx_init);
-    fed_.client(c).train(ws, fed_.cfg().local,
-                         fed_.train_rng(c, 0xF1150000));
+    fed_.client(c)->train(ws, fed_.cfg().local,
+                          fed_.train_rng(c, 0xF1150000));
     auto logits = ws.forward(proxy_images);
     tensor::softmax_rows_(logits);
     profiles[c] = fed_.upload_payload(wire::MessageKind::kWarmupWeights,

@@ -46,7 +46,7 @@ std::size_t Ifca::select_cluster_for(const SimClient& client) {
 }
 
 std::size_t Ifca::select_cluster(std::size_t c) {
-  return select_cluster_for(fed_.client(c));
+  return select_cluster_for(*fed_.client(c));
 }
 
 void Ifca::round(std::size_t r) {
@@ -74,12 +74,13 @@ void Ifca::round(std::size_t r) {
                                       nn::Model& ws) {
     // The client needs every cluster model to choose: K model downloads.
     fed_.bill_download(p, models_.size());
-    const std::size_t k = select_cluster_from(rx_models, ws, fed_.client(c));
+    const auto client = fed_.client(c);
+    const std::size_t k = select_cluster_from(rx_models, ws, *client);
     ws.set_flat_params(rx_models[k]);
-    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
+    client->train(ws, fed_.cfg().local, fed_.train_rng(c, r));
     chosen[idx] = k;
     locals[idx] = ws.flat_params();
-    weights[idx] = static_cast<double>(fed_.client(c).n_train());
+    weights[idx] = static_cast<double>(client->n_train());
     // Upload (trained model + cluster id) runs the fault/validation
     // gauntlet; lost updates are excluded from their cluster's average.
     delivered[idx] = fed_.deliver_update(c, r, locals[idx], p) ? 1 : 0;
@@ -109,16 +110,18 @@ void Ifca::round(std::size_t r) {
 
 double Ifca::evaluate_all() {
   // Each client evaluates with the cluster model it would select.
-  std::vector<double> accs(fed_.n_clients());
+  const auto ids = fed_.eval_ids();
+  std::vector<double> accs(ids.size());
   ParallelRoundRunner runner(fed_);
-  runner.for_each_index(fed_.n_clients(), [&](std::size_t c, nn::Model& ws) {
-    const std::size_t k = select_cluster_with(ws, fed_.client(c));
+  runner.for_each_index(ids.size(), [&](std::size_t idx, nn::Model& ws) {
+    const auto client = fed_.client(ids[idx]);
+    const std::size_t k = select_cluster_with(ws, *client);
     ws.set_flat_params(models_[k]);
-    accs[c] = fed_.client(c).evaluate(ws);
+    accs[idx] = client->evaluate(ws);
   });
   double sum = 0.0;
   for (const double a : accs) sum += a;
-  return sum / static_cast<double>(fed_.n_clients());
+  return sum / static_cast<double>(accs.size());
 }
 
 void Ifca::save_state(util::BinaryWriter& w) const {

@@ -56,12 +56,13 @@ void LgFedAvg::round(std::size_t r) {
               params_[c].begin() +
                   static_cast<std::ptrdiff_t>(global_offset_));
     ws.set_flat_params(params_[c]);
-    fed_.client(c).train(ws, fed_.cfg().local, fed_.train_rng(c, r));
+    const auto client = fed_.client(c);
+    client->train(ws, fed_.cfg().local, fed_.train_rng(c, r));
     params_[c] = ws.flat_params();
     suffixes[idx].assign(
         params_[c].begin() + static_cast<std::ptrdiff_t>(global_offset_),
         params_[c].end());
-    weights[idx] = static_cast<double>(fed_.client(c).n_train());
+    weights[idx] = static_cast<double>(client->n_train());
     // Only the shared suffix travels; the local prefix stays on-device, so
     // a lost upload still keeps the client's personal layers trained.
     delivered[idx] = fed_.deliver_update(c, r, suffixes[idx], g) ? 1 : 0;

@@ -31,7 +31,10 @@ class LgFedAvg : public FlAlgorithm {
   std::size_t global_offset_ = 0;
   std::vector<float> global_suffix_;
   // Per-client persistent full parameter vectors (their local prefix is
-  // what personalizes them).
+  // what personalizes them). Deliberately dense: every client's default is
+  // a distinct random init (make_model(1000 + c)), so there is no shared
+  // sparse default — LG is not scale-ready under --virtual-clients
+  // (docs/INVARIANTS.md §Scale).
   std::vector<std::vector<float>> params_;
 };
 

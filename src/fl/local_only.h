@@ -4,6 +4,7 @@
 // no communication at all (the paper's pure-personalization anchor).
 
 #include "fl/algorithm.h"
+#include "fl/client_state.h"
 
 namespace fedclust::fl {
 
@@ -22,8 +23,8 @@ class LocalOnly : public FlAlgorithm {
   double evaluate_all() override;
 
  private:
-  // Per-client persistent parameters.
-  std::vector<std::vector<float>> params_;
+  // Per-client persistent parameters; untouched clients hold θ0.
+  SparseClientParams params_;
 };
 
 }  // namespace fedclust::fl

@@ -55,7 +55,7 @@ void Pacfl::setup() {
     OBS_SPAN("pacfl.subspace_exchange");
     util::parallel_for(0, n, [&](std::size_t c) {
       OBS_SPAN_ARG("client.subspace", c);
-      bases_[c] = subspace_of(fed_.client(c).train_data());
+      bases_[c] = subspace_of(fed_.client(c)->train_data());
     });
   }
   // Each basis travels as a subspace envelope; the server clusters on the

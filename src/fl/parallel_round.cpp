@@ -1,6 +1,7 @@
 #include "fl/parallel_round.h"
 
 #include "fl/codec.h"
+#include "fl/stream_agg.h"
 #include "fl/transport.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
@@ -37,10 +38,22 @@ void ParallelRoundRunner::for_each_client(
 std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
     const std::vector<std::size_t>& clients,
     const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of) {
-  if (fed_.transport() != nullptr && fed_.transport()->remote()) {
-    return train_clients_remote(clients, job_of);
-  }
   std::vector<RoundTrainResult> results(clients.size());
+  train_clients_into(clients, job_of,
+                     [&](std::size_t idx, RoundTrainResult&& res) {
+                       results[idx] = std::move(res);
+                     });
+  return results;
+}
+
+void ParallelRoundRunner::train_clients_into(
+    const std::vector<std::size_t>& clients,
+    const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of,
+    const std::function<void(std::size_t, RoundTrainResult&&)>& consume) {
+  if (fed_.transport() != nullptr && fed_.transport()->remote()) {
+    train_clients_remote_into(clients, job_of, consume);
+    return;
+  }
   for_each_client(clients, [&](std::size_t idx, std::size_t c,
                                nn::Model& ws) {
     const RoundTrainJob job = job_of(idx, c);
@@ -81,9 +94,12 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
     if (journal_on && obs::EventJournal::wall_clock()) {
       train_t0 = util::process_elapsed_micros();
     }
-    const float loss = fed_.client(c).train(
-        ws, job.opts, job.rng, job.prox_ref,
-        job.grad_offset ? &*job.grad_offset : nullptr);
+    // One store acquisition per client step; the shared_ptr keeps the
+    // client alive across train + n_train even if the LRU evicts it.
+    const auto client = fed_.client(c);
+    const float loss =
+        client->train(ws, job.opts, job.rng, job.prox_ref,
+                      job.grad_offset ? &*job.grad_offset : nullptr);
     if (journal_on) {
       const std::uint64_t train_us =
           obs::EventJournal::wall_clock()
@@ -92,24 +108,25 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients(
               : 0;
       OBS_JOURNAL(job.round, c, kTrain, train_us);
     }
-    results[idx].client = c;
-    results[idx].params = ws.flat_params();
-    results[idx].weight = static_cast<double>(fed_.client(c).n_train());
-    results[idx].loss = loss;
-    results[idx].delivered = fed_.deliver_update(
-        c, job.round, results[idx].params, job.upload_floats,
-        fed_.int8_aggregation_active() ? &results[idx].encoded : nullptr);
+    RoundTrainResult res;
+    res.client = c;
+    res.params = ws.flat_params();
+    res.weight = static_cast<double>(client->n_train());
+    res.loss = loss;
+    res.delivered = fed_.deliver_update(
+        c, job.round, res.params, job.upload_floats,
+        fed_.int8_aggregation_active() ? &res.encoded : nullptr);
+    consume(idx, std::move(res));
   });
-  return results;
 }
 
-std::vector<RoundTrainResult> ParallelRoundRunner::train_clients_remote(
+void ParallelRoundRunner::train_clients_remote_into(
     const std::vector<std::size_t>& clients,
-    const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of) {
+    const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of,
+    const std::function<void(std::size_t, RoundTrainResult&&)>& consume) {
   Transport& net = *fed_.transport();
   const bool journal_on = obs::EventJournal::enabled();
   const wire::CodecId codec = fed_.cfg().codec;
-  std::vector<RoundTrainResult> results(clients.size());
   std::vector<TrainCall> calls(clients.size());
   std::vector<std::uint64_t> upload_floats(clients.size(), 0);
 
@@ -168,9 +185,9 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients_remote(
     const std::size_t c = clients[idx];
     const std::size_t round = calls[idx].round;
     TrainOutcome& out = outcomes[idx];
-    RoundTrainResult& res = results[idx];
+    RoundTrainResult res;
     res.client = c;
-    res.weight = static_cast<double>(fed_.client(c).n_train());
+    res.weight = static_cast<double>(fed_.client(c)->n_train());
     if (out.attempts > 1) {
       OBS_COUNTER_ADD("fault.retries", out.attempts - 1);
       OBS_JOURNAL(round, c, kRetry, out.attempts - 1);
@@ -180,6 +197,7 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients_remote(
       OBS_COUNTER_ADD("fault.lost_updates", 1);
       OBS_JOURNAL(round, c, kCommFailed, out.attempts);
       res.delivered = false;
+      consume(idx, std::move(res));
       continue;
     }
     if (journal_on) {
@@ -191,8 +209,8 @@ std::vector<RoundTrainResult> ParallelRoundRunner::train_clients_remote(
     res.delivered = fed_.deliver_update(
         c, round, res.params, upload_floats[idx],
         fed_.int8_aggregation_active() ? &res.encoded : nullptr);
+    consume(idx, std::move(res));
   }
-  return results;
 }
 
 std::vector<std::pair<const std::vector<float>*, double>> to_entries(
@@ -233,20 +251,29 @@ bool try_int8_aggregate(std::vector<float>& model,
 
 bool aggregate_or_keep(std::vector<float>& model,
                        const std::vector<RoundTrainResult>& results) {
-  if (!any_delivered(results)) {
+  if (results.empty() || !any_delivered(results)) {
     // Every sampled client's update was lost or quarantined: carry the
     // model forward unchanged rather than aggregating an empty set.
     OBS_COUNTER_ADD("fault.empty_rounds", 1);
     return false;
   }
-  std::vector<const RoundTrainResult*> delivered;
-  delivered.reserve(results.size());
-  for (const auto& r : results) {
-    if (r.delivered) delivered.push_back(&r);
+  // Same fixed reduction tree as the streaming consume path, fed in slot
+  // order — collect-then-reduce and streaming aggregation are bit-identical
+  // by construction. int8 mode is always armed: when no qint8 payloads were
+  // captured the quantized path declines and the float tree applies.
+  StreamingAggregator agg(results.size(), model.size(), /*int8_mode=*/true);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (r.delivered) {
+      agg.submit(i, r.params.data(), r.params.size(), r.weight,
+                 std::vector<std::uint8_t>(r.encoded));
+    } else {
+      agg.skip(i);
+    }
   }
-  if (try_int8_aggregate(model, delivered)) return true;
-  model = weighted_average(to_entries(results));
-  return true;
+  if (agg.finish(model)) return true;
+  OBS_COUNTER_ADD("fault.empty_rounds", 1);
+  return false;
 }
 
 }  // namespace fedclust::fl

@@ -8,10 +8,12 @@
 // a commutative sum. ParallelRoundRunner exploits that structure: it fans
 // the sampled clients out over util::global_pool(), giving each worker
 // chunk a leased model replica from the federation's workspace pool, and
-// hands results back in client-index order — so aggregation consumes them
-// in exactly the sequence the sequential loop produced, and traces are
-// bit-identical at any worker count (FEDCLUST_THREADS=1 runs the sequential
-// code path through the shared workspace, unchanged from the seed).
+// hands results to the caller keyed by client-index slot — either collected
+// (train_clients) or consumed as deliveries resolve (train_clients_into).
+// Aggregation folds updates over StreamingAggregator's fixed reduction
+// tree, whose FP association depends only on the cohort size — so traces
+// are bit-identical at any worker count (FEDCLUST_THREADS=1 runs the
+// sequential code path through the shared workspace).
 //
 // Nested kernels are safe: GEMM's inner parallel_for detects it is running
 // inside a worker chunk and degrades to inline execution (see
@@ -90,13 +92,28 @@ class ParallelRoundRunner {
       const std::vector<std::size_t>& clients,
       const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of);
 
- private:
-  // Socket-mode variant of train_clients, taken when the federation has a
-  // remote transport installed (see fl/transport.h for the three-phase
-  // split). Produces results bit-identical to the in-process path.
-  std::vector<RoundTrainResult> train_clients_remote(
+  // Streaming variant: instead of collecting results, consume(idx, result)
+  // is invoked once per sampled client the moment its delivery resolves —
+  // from worker threads on the in-process path (consume must be
+  // thread-safe; StreamingAggregator is) and from the server thread on the
+  // remote path. The result is moved in, so the consumer decides what
+  // outlives the call — feeding a reduction tree keeps per-round memory
+  // at O(cohort) accumulators instead of O(cohort) parameter vectors.
+  // train_clients() itself is implemented on top of this.
+  void train_clients_into(
       const std::vector<std::size_t>& clients,
-      const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of);
+      const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of,
+      const std::function<void(std::size_t, RoundTrainResult&&)>& consume);
+
+ private:
+  // Socket-mode variant of train_clients_into, taken when the federation
+  // has a remote transport installed (see fl/transport.h for the
+  // three-phase split). Produces results bit-identical to the in-process
+  // path.
+  void train_clients_remote_into(
+      const std::vector<std::size_t>& clients,
+      const std::function<RoundTrainJob(std::size_t, std::size_t)>& job_of,
+      const std::function<void(std::size_t, RoundTrainResult&&)>& consume);
 
   Federation& fed_;
 };

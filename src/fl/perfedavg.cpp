@@ -19,8 +19,10 @@ std::vector<float> PerFedAvg::maml_train(nn::Model& ws, std::size_t c,
   const auto& opts = fed_.cfg().local;
   const float alpha = fed_.cfg().algo.perfedavg_alpha;
   const float beta = fed_.cfg().algo.perfedavg_beta;
-  const SimClient& client = fed_.client(c);
-  const auto& ds = client.train_data();
+  // Held for the whole adaptation: `ds` references into the client, which
+  // a virtual store may otherwise evict mid-loop.
+  const auto client = fed_.client(c);
+  const auto& ds = client->train_data();
   util::Rng rng = fed_.train_rng(c, r);
 
   std::vector<float> w = start;
@@ -85,7 +87,7 @@ void PerFedAvg::round(std::size_t r) {
                                       nn::Model& ws) {
     fed_.bill_download(p);
     updates[idx] = maml_train(ws, c, r, rx_meta);
-    weights[idx] = static_cast<double>(fed_.client(c).n_train());
+    weights[idx] = static_cast<double>(fed_.client(c)->n_train());
     delivered[idx] = fed_.deliver_update(c, r, updates[idx], p) ? 1 : 0;
   });
   std::vector<std::pair<const std::vector<float>*, double>> entries;
@@ -104,16 +106,19 @@ double PerFedAvg::evaluate_all() {
   LocalTrainOptions fine = fed_.cfg().local;
   fine.epochs = fed_.cfg().algo.perfedavg_eval_epochs;
   fine.lr = fed_.cfg().algo.perfedavg_alpha;
-  std::vector<double> accs(fed_.n_clients());
+  const auto ids = fed_.eval_ids();
+  std::vector<double> accs(ids.size());
   ParallelRoundRunner runner(fed_);
-  runner.for_each_index(fed_.n_clients(), [&](std::size_t i, nn::Model& ws) {
+  runner.for_each_index(ids.size(), [&](std::size_t idx, nn::Model& ws) {
+    const std::size_t i = ids[idx];
     ws.set_flat_params(meta_);
-    fed_.client(i).train(ws, fine, fed_.train_rng(i, 0xEdA1));
-    accs[i] = fed_.client(i).evaluate(ws);
+    const auto client = fed_.client(i);
+    client->train(ws, fine, fed_.train_rng(i, 0xEdA1));
+    accs[idx] = client->evaluate(ws);
   });
   double sum = 0.0;
   for (const double a : accs) sum += a;
-  return sum / static_cast<double>(fed_.n_clients());
+  return sum / static_cast<double>(accs.size());
 }
 
 void PerFedAvg::save_state(util::BinaryWriter& w) const {

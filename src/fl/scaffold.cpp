@@ -10,8 +10,8 @@ Scaffold::Scaffold(Federation& fed) : FlAlgorithm(fed) {}
 void Scaffold::setup() {
   global_ = fed_.init_params();
   c_global_.assign(fed_.model_size(), 0.0f);
-  c_client_.assign(fed_.n_clients(),
-                   std::vector<float>(fed_.model_size(), 0.0f));
+  c_client_.reset(fed_.n_clients(),
+                  std::vector<float>(fed_.model_size(), 0.0f));
 }
 
 void Scaffold::round(std::size_t r) {
@@ -26,10 +26,13 @@ void Scaffold::round(std::size_t r) {
         job.start = &global_;
         job.opts = opts;
         job.rng = fed_.train_rng(c, r);
-        // Per-step corrected gradient: g + c_global - c_i.
+        // Per-step corrected gradient: g + c_global - c_i. Workers only
+        // read the variate (get() never materializes); refreshes are
+        // sequential, after the fan-out joins.
+        const std::vector<float>& ci = c_client_.get(c);
         std::vector<float> offset(p);
         for (std::size_t j = 0; j < p; ++j) {
-          offset[j] = c_global_[j] - c_client_[c][j];
+          offset[j] = c_global_[j] - ci[j];
         }
         job.grad_offset = std::move(offset);
         job.download_floats = 2 * p;  // model + global control variate
@@ -52,9 +55,9 @@ void Scaffold::round(std::size_t r) {
   for (const auto& res : results) {
     if (!res.delivered) continue;
     const auto& local = res.params;
-    auto& ci = c_client_[res.client];
+    auto& ci = c_client_.touch(res.client);
     const double k_lr =
-        static_cast<double>(fed_.client(res.client).local_steps(opts)) *
+        static_cast<double>(fed_.client(res.client)->local_steps(opts)) *
         opts.lr;
     for (std::size_t j = 0; j < p; ++j) {
       const float ci_new = static_cast<float>(
@@ -84,13 +87,17 @@ double Scaffold::evaluate_all() {
 void Scaffold::save_state(util::BinaryWriter& w) const {
   w.write_f32_vec(global_);
   w.write_f32_vec(c_global_);
-  write_nested_f32(w, c_client_);
+  c_client_.save(w);
 }
 
 void Scaffold::load_state(util::BinaryReader& r) {
   global_ = r.read_f32_vec();
   c_global_ = r.read_f32_vec();
-  c_client_ = read_nested_f32(r);
+  // Resume skips setup(): rebuild the sparse default (zeros) before loading
+  // the touched slots.
+  c_client_.reset(fed_.n_clients(),
+                  std::vector<float>(fed_.model_size(), 0.0f));
+  c_client_.load(r);
 }
 
 }  // namespace fedclust::fl

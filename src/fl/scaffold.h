@@ -10,6 +10,7 @@
 // FedAvg in each direction, which the CommTracker records).
 
 #include "fl/algorithm.h"
+#include "fl/client_state.h"
 
 namespace fedclust::fl {
 
@@ -32,7 +33,7 @@ class Scaffold : public FlAlgorithm {
  private:
   std::vector<float> global_;
   std::vector<float> c_global_;
-  std::vector<std::vector<float>> c_client_;  // persistent per client
+  SparseClientParams c_client_;  // persistent per client, zeros default
 };
 
 }  // namespace fedclust::fl

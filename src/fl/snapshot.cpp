@@ -122,6 +122,10 @@ std::vector<std::uint8_t> canonical_config_bytes(const ExperimentConfig& c) {
   // wire + seed
   b.push_back(static_cast<std::uint8_t>(c.codec));
   util::put_u64_le(b, c.seed);
+  // eval_clients changes every recorded accuracy, so it fingerprints;
+  // virtual_clients/client_cache are deliberately absent — like
+  // FEDCLUST_THREADS they are perf dials that must not change results.
+  util::put_u64_le(b, c.eval_clients);
   return b;
 }
 
@@ -483,7 +487,11 @@ std::string manifest_json(const ExperimentConfig& cfg,
   os << "    \"rounds\": " << cfg.rounds << ",\n";
   os << "    \"sample_fraction\": " << jnum(cfg.sample_fraction) << ",\n";
   os << "    \"eval_every\": " << cfg.eval_every << ",\n";
-  os << "    \"dropout_prob\": " << jnum(cfg.dropout_prob) << "\n";
+  os << "    \"dropout_prob\": " << jnum(cfg.dropout_prob) << ",\n";
+  os << "    \"virtual_clients\": "
+     << (cfg.virtual_clients ? "true" : "false") << ",\n";
+  os << "    \"client_cache\": " << cfg.client_cache << ",\n";
+  os << "    \"eval_clients\": " << cfg.eval_clients << "\n";
   os << "  }\n";
   os << "}\n";
   return os.str();

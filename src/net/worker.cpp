@@ -163,9 +163,9 @@ bool WorkerLoop::serve(int fd, const std::vector<std::uint8_t>& body) {
   util::Rng rng = util::Rng::from_state(req.rng);
   const std::int64_t t0 = util::process_elapsed_micros();
   const float loss = fed_.client(static_cast<std::size_t>(req.client))
-                         .train(ws, req.opts, rng,
-                                req.prox_env ? &prox.payload : nullptr,
-                                req.offset_env ? &offset.payload : nullptr);
+                         ->train(ws, req.opts, rng,
+                                 req.prox_env ? &prox.payload : nullptr,
+                                 req.offset_env ? &offset.payload : nullptr);
   const std::int64_t t1 = util::process_elapsed_micros();
 
   TrainRespMsg resp;

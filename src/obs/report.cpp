@@ -150,6 +150,17 @@ void ingest_metrics(RunReport& r, const std::string& metrics_text,
     rs.acc = line.number_or("acc", rs.acc);
     rs.round_seconds = line.number_or("round_seconds", rs.round_seconds);
     r.final_acc = line.number_or("acc", r.final_acc);
+    // Registered counters/gauges ride into every line; keep the max RSS
+    // sample and the latest cumulative cache counters.
+    r.peak_rss_kb = std::max(
+        r.peak_rss_kb,
+        static_cast<std::uint64_t>(line.number_or("mem.peak_rss_kb", 0.0)));
+    r.cache_hits = static_cast<std::uint64_t>(line.number_or(
+        "store.cache_hits", static_cast<double>(r.cache_hits)));
+    r.cache_misses = static_cast<std::uint64_t>(line.number_or(
+        "store.cache_misses", static_cast<double>(r.cache_misses)));
+    r.cache_evictions = static_cast<std::uint64_t>(line.number_or(
+        "store.cache_evictions", static_cast<double>(r.cache_evictions)));
   }
 }
 
@@ -280,7 +291,11 @@ std::string to_json(const RunReport& r) {
      << ",\"upload_wire_bytes\":" << r.upload_wire_bytes
      << ",\"download_payload_bytes\":" << r.download_payload_bytes
      << ",\"download_wire_bytes\":" << r.download_wire_bytes
-     << ",\"train_us_total\":" << r.train_us_total << "},\"per_round\":[";
+     << ",\"train_us_total\":" << r.train_us_total
+     << "},\"memory\":{\"peak_rss_kb\":" << r.peak_rss_kb
+     << ",\"cache_hits\":" << r.cache_hits
+     << ",\"cache_misses\":" << r.cache_misses
+     << ",\"cache_evictions\":" << r.cache_evictions << "},\"per_round\":[";
   for (std::size_t i = 0; i < r.per_round.size(); ++i) {
     const RoundStats& rs = r.per_round[i];
     os << (i ? "," : "") << "{\"round\":" << rs.round
@@ -358,6 +373,14 @@ std::string to_markdown(const RunReport& r) {
      << "/" << r.download_payload_bytes << ")\n";
   os << "* total local-training wall time: "
      << fmt_fixed(static_cast<double>(r.train_us_total) / 1e6, 3) << " s\n";
+  if (r.peak_rss_kb > 0) {
+    os << "* peak RSS: " << r.peak_rss_kb << " KiB\n";
+  }
+  if (r.cache_hits + r.cache_misses + r.cache_evictions > 0) {
+    os << "* client-store cache: " << r.cache_hits << " hits, "
+       << r.cache_misses << " misses, " << r.cache_evictions
+       << " evictions\n";
+  }
 
   os << "\n## Per-round\n\n";
   os << "| round | sampled | delivered | train ms | critical path ms "
@@ -454,6 +477,12 @@ RunReport from_json(const std::string& text) {
     r.download_payload_bytes = u64(*totals, "download_payload_bytes");
     r.download_wire_bytes = u64(*totals, "download_wire_bytes");
     r.train_us_total = u64(*totals, "train_us_total");
+  }
+  if (const json::Value* memory = doc.find("memory")) {
+    r.peak_rss_kb = u64(*memory, "peak_rss_kb");
+    r.cache_hits = u64(*memory, "cache_hits");
+    r.cache_misses = u64(*memory, "cache_misses");
+    r.cache_evictions = u64(*memory, "cache_evictions");
   }
   if (const json::Value* faults = doc.find("faults")) {
     r.faults.dropped = u64(*faults, "dropped");

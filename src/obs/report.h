@@ -112,6 +112,14 @@ struct RunReport {
   std::uint64_t download_payload_bytes = 0;
   std::uint64_t download_wire_bytes = 0;
   std::uint64_t train_us_total = 0;
+  // Memory / client-store telemetry from the metrics JSONL: the RSS
+  // high-water mark is the max over the run's gauge samples, the cache
+  // counters are the final cumulative values. All zero when no metrics
+  // file rode along (or the run never registered them).
+  std::uint64_t peak_rss_kb = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
   std::vector<RoundStats> per_round;
   std::vector<ClientStats> stragglers;  // top-K by straggler attribution
   std::vector<ClusterStats> clusters;

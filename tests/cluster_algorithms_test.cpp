@@ -182,13 +182,13 @@ TEST(IfcaTest, SelectionPicksLowestLossModel) {
     std::size_t best_k = 0;
     for (std::size_t k = 0; k < 3; ++k) {
       ws.set_flat_params(algo.models()[k]);
-      const float loss = fed.client(c).train_loss(ws);
+      const float loss = fed.client(c)->train_loss(ws);
       if (loss < best) {
         best = loss;
         best_k = k;
       }
     }
-    EXPECT_EQ(algo.select_cluster_for(fed.client(c)), best_k);
+    EXPECT_EQ(algo.select_cluster_for(*fed.client(c)), best_k);
   }
   EXPECT_GE(t.final_accuracy(), 0.0);
 }

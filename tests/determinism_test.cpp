@@ -128,8 +128,9 @@ TEST(Determinism, NoCrossFederationLeakage) {
 
 // Thread-count invariance: the parallel round executor must yield
 // bit-identical results at any worker count, because RNG streams are split
-// ahead of fan-out and all floating-point reductions happen sequentially in
-// client-index order after collection. Worker counts are swept in-process
+// ahead of fan-out and all floating-point reductions fold through a fixed
+// reduction tree whose shape depends only on the cohort size, never on
+// delivery order (src/fl/stream_agg.h). Worker counts are swept in-process
 // via reset_global_pool; the fixture restores the previous pool afterwards.
 class ThreadCountInvariance : public ::testing::Test {
  protected:
@@ -187,6 +188,44 @@ TEST_F(ThreadCountInvariance, FedClustMatchesSequentialAtFourThreads) {
   ASSERT_EQ(r1.models.size(), r4.models.size());
   for (std::size_t k = 0; k < r1.models.size(); ++k) {
     expect_bit_identical(r1.models[k], r4.models[k]);
+  }
+}
+
+// Virtual client store equivalence (docs/INVARIANTS.md §Scale): clients
+// regenerated on demand behind a small LRU cache — small enough that
+// eviction churns constantly — must reproduce the materialized path
+// exactly: traces, comm byte counts, and the CRC of the algorithm's full
+// serialized state (every model parameter), at any thread count.
+TEST_F(ThreadCountInvariance, VirtualStoreMatchesMaterialized) {
+  struct Result {
+    fl::Trace trace;
+    std::uint64_t wire_bytes = 0;
+    std::uint32_t state_crc = 0;
+  };
+  const auto run_with = [&](const std::string& method, bool virtual_clients,
+                            std::size_t threads) {
+    util::reset_global_pool(threads);
+    auto cfg = cfg_for(42);
+    cfg.virtual_clients = virtual_clients;
+    cfg.client_cache = 3;  // far below n_clients=10: eviction is active
+    fl::Federation fed(cfg);
+    const auto algo = core::make_algorithm(method, fed);
+    Result res;
+    res.trace = algo->run();
+    res.wire_bytes = fed.comm().wire_bytes();
+    res.state_crc = algo->state_crc32c();
+    return res;
+  };
+  for (const std::string method : {"FedAvg", "FedClust"}) {
+    SCOPED_TRACE(method);
+    const Result materialized = run_with(method, false, 1);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE(threads);
+      const Result virt = run_with(method, true, threads);
+      expect_identical(materialized.trace, virt.trace);
+      EXPECT_EQ(materialized.wire_bytes, virt.wire_bytes);
+      EXPECT_EQ(materialized.state_crc, virt.state_crc);
+    }
   }
 }
 

@@ -162,8 +162,8 @@ TEST(WeightedAverage, Validation) {
 TEST(FederationTest, BuildsClientsFromConfig) {
   Federation fed(tiny_config());
   EXPECT_EQ(fed.n_clients(), 10u);
-  EXPECT_EQ(fed.client(3).id(), 3u);
-  EXPECT_EQ(fed.client(3).n_train(), 16u);
+  EXPECT_EQ(fed.client(3)->id(), 3u);
+  EXPECT_EQ(fed.client(3)->n_train(), 16u);
   EXPECT_GT(fed.model_size(), 0u);
   EXPECT_EQ(fed.init_params().size(), fed.model_size());
 }

@@ -74,7 +74,7 @@ TEST_F(ParallelRoundTest, ResultsComeBackInClientIndexOrder) {
     EXPECT_EQ(results[i].client, sampled[i]);
     EXPECT_EQ(results[i].params.size(), fed.model_size());
     EXPECT_DOUBLE_EQ(results[i].weight,
-                     static_cast<double>(fed.client(sampled[i]).n_train()));
+                     static_cast<double>(fed.client(sampled[i])->n_train()));
   }
 }
 

@@ -368,5 +368,90 @@ INSTANTIATE_TEST_SUITE_P(Threads, SnapshotResumeTest,
                            return "threads" + std::to_string(info.param);
                          });
 
+// --------------------------------------------- sparse per-client state
+
+// A large virtual population where each round touches a handful of
+// clients: checkpoints must scale with participation, not population
+// (docs/INVARIANTS.md §Scale), and halt/resume must stay bit-identical.
+fl::ExperimentConfig sparse_cfg() {
+  fl::ExperimentConfig cfg = small_cfg(17);
+  cfg.fed.n_clients = 10000;
+  cfg.sample_fraction = 0.001;  // 10 of 10,000 per round
+  cfg.rounds = 2;
+  cfg.virtual_clients = true;
+  cfg.client_cache = 16;
+  cfg.eval_clients = 6;  // keep eval from materializing the population
+  return cfg;
+}
+
+TEST(SparseSnapshot, HaltResumeTouchingTenOfTenThousandIsBitIdentical) {
+  const fl::ExperimentConfig cfg = sparse_cfg();
+
+  fl::Federation fed_full(cfg);
+  const auto full = core::make_algorithm("Local", fed_full);
+  const fl::Trace full_trace = full->run();
+
+  const std::string dir = ::testing::TempDir() + "snap_sparse";
+  std::filesystem::create_directories(dir);
+  fl::Federation fed_halt(cfg);
+  const auto halted = core::make_algorithm("Local", fed_halt);
+  fl::CheckpointPolicy policy;
+  policy.dir = dir;
+  policy.halt_after = 1;
+  halted->set_checkpoint_policy(policy);
+  halted->run();
+
+  fl::Federation fed_res(cfg);
+  const auto resumed = core::make_algorithm("Local", fed_res);
+  resumed->resume_from(
+      fl::load_snapshot(dir + "/" + fl::snapshot_filename(1)));
+  const fl::Trace resumed_trace = resumed->run();
+
+  expect_identical(full_trace, resumed_trace);
+  EXPECT_EQ(state_bytes(*resumed), state_bytes(*full));
+
+  // Proportionality: the snapshot holds only the touched slots. A dense
+  // dump would be ~n_clients * dim floats; the sparse one is bounded by
+  // the cumulative cohort (10/round) plus fixed headers.
+  const std::size_t dim = fed_full.init_params().size();
+  const std::size_t snap_size = static_cast<std::size_t>(
+      std::filesystem::file_size(dir + "/" + fl::snapshot_filename(1)));
+  const std::size_t dense_estimate = cfg.fed.n_clients * dim * 4;
+  EXPECT_LT(snap_size * 50, dense_estimate);
+  EXPECT_LT(snap_size, 2 * 16 + 20 * (16 + dim * 4) + 4096);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SparseSnapshot, CorruptSparseRecordsAreRejected) {
+  const fl::ExperimentConfig cfg = sparse_cfg();
+  fl::Federation fed(cfg);
+  const auto algo = core::make_algorithm("Local", fed);
+  algo->run();
+  const std::string good = state_bytes(*algo);
+  ASSERT_GE(good.size(), 24u);  // u64 n, u64 count, first u64 id, ...
+
+  const auto load_bytes = [&](std::string bytes) {
+    std::istringstream is(std::move(bytes), std::ios::binary);
+    util::BinaryReader r(is);
+    fl::Federation fresh_fed(cfg);
+    core::make_algorithm("Local", fresh_fed)->load_state(r);
+  };
+  load_bytes(good);  // sanity: the untampered bytes load
+
+  // Local's state is exactly the sparse map: u64 n_clients, u64 count,
+  // then (u64 id, f32_vec) ascending. Corrupt each structural field.
+  std::string wrong_pop = good;
+  wrong_pop[0] ^= 1;  // population != federation's n_clients
+  EXPECT_THROW(load_bytes(wrong_pop), std::runtime_error);
+
+  std::string huge_count = good;
+  huge_count[8 + 6] = '\x7f';  // touched count >> population
+  EXPECT_THROW(load_bytes(huge_count), std::runtime_error);
+
+  std::string bad_id = good;
+  bad_id[16 + 6] = '\x7f';  // first record id far out of range
+  EXPECT_THROW(load_bytes(bad_id), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace fedclust

@@ -58,6 +58,21 @@ inline void add_experiment_options(util::ArgParser& args) {
                   "\"crash=0.1,straggle=0.2,deadline=4,corrupt=0.05\"",
                   "");
   args.add_option("seed", "root seed", "1");
+  args.add_option("virtual-clients",
+                  "regenerate clients on demand from (seed, id) behind an "
+                  "LRU cache instead of materializing the whole population "
+                  "up front; results are bit-identical either way (1|0)",
+                  "0");
+  args.add_option("client-cache",
+                  "max clients resident in the virtual store's LRU cache "
+                  "(0 = default 256; ignored without --virtual-clients)",
+                  "0");
+  args.add_option("eval-clients",
+                  "evaluate on a fixed random subsample of this many "
+                  "clients instead of all of them (0 = all; changes "
+                  "recorded accuracies, so it feeds the config "
+                  "fingerprint)",
+                  "0");
   args.add_option("fast-math-kernels",
                   "FMA-contracted SIMD kernels + int8-domain qint8 "
                   "aggregation; trades bit-identity with the scalar "
@@ -111,6 +126,9 @@ inline fl::ExperimentConfig build_experiment_config(
   cfg.dropout_prob = args.real("dropout");
   cfg.fault = fl::FaultPlan::parse(args.str("fault-spec"));
   cfg.seed = static_cast<std::uint64_t>(args.integer("seed"));
+  cfg.virtual_clients = args.integer("virtual-clients") != 0;
+  cfg.client_cache = static_cast<std::size_t>(args.integer("client-cache"));
+  cfg.eval_clients = static_cast<std::size_t>(args.integer("eval-clients"));
   cfg.algo.fedclust_lambda = static_cast<float>(args.real("lambda"));
   cfg.algo.fedclust_k = static_cast<std::size_t>(args.integer("k"));
   cfg.algo.pacfl_k = cfg.algo.fedclust_k;

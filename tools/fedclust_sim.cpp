@@ -13,10 +13,13 @@
 #include <filesystem>
 #include <iostream>
 
+#include <fstream>
+
 #include "core/registry.h"
 #include "experiment_flags.h"
 #include "fl/snapshot.h"
 #include "util/logging.h"
+#include "util/mem.h"
 #include "util/signal.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -55,6 +58,11 @@ int main(int argc, char** argv) {
                     "snapshot file to resume from; the other flags must "
                     "reproduce the config that wrote it (see the "
                     "checkpoint directory's manifest.json)",
+                    "");
+    args.add_option("bench-out",
+                    "write a small JSON throughput record (rounds/s, peak "
+                    "RSS, git describe) to this path after the run (empty "
+                    "= off)",
                     "");
     if (!args.parse(argc, argv)) return 0;
 
@@ -106,6 +114,7 @@ int main(int argc, char** argv) {
     }
     util::Stopwatch sw;
     const fl::Trace trace = algo->run();
+    const double run_seconds = sw.seconds();
 
     std::cout << args.str("method") << " on " << args.str("dataset") << "/"
               << args.str("partition") << ": final acc "
@@ -124,6 +133,14 @@ int main(int argc, char** argv) {
     std::cout << "simd kernels: isa=" << util::isa_name(util::active_isa())
               << " fast_math="
               << (util::fast_math_kernels() ? "on" : "off") << "\n";
+    std::cout << "peak rss " << util::peak_rss_kb() << " KiB";
+    if (cfg.virtual_clients) {
+      const fl::ClientStore::CacheStats stats = fed.store_stats();
+      std::cout << " (client store: " << stats.hits << " hits, "
+                << stats.misses << " misses, " << stats.evictions
+                << " evictions)";
+    }
+    std::cout << "\n";
     {
       // Digest of the algorithm's full serialized state (all model
       // parameters included): two runs print the same line iff they ended
@@ -135,6 +152,29 @@ int main(int argc, char** argv) {
     if (!args.str("out").empty()) {
       trace.save_csv(args.str("out"));
       std::cout << "trace written to " << args.str("out") << "\n";
+    }
+    if (!args.str("bench-out").empty()) {
+      std::ofstream os(args.str("bench-out"));
+      if (!os) {
+        throw std::runtime_error("cannot write " + args.str("bench-out"));
+      }
+      os.precision(6);
+      os << "{\n"
+         << "  \"method\": \"" << args.str("method") << "\",\n"
+         << "  \"clients\": " << cfg.fed.n_clients << ",\n"
+         << "  \"rounds\": " << cfg.rounds << ",\n"
+         << "  \"seconds\": " << run_seconds << ",\n"
+         << "  \"rounds_per_s\": "
+         << (run_seconds > 0.0 ? static_cast<double>(cfg.rounds) / run_seconds
+                               : 0.0)
+         << ",\n"
+         << "  \"peak_rss_kb\": " << util::peak_rss_kb() << ",\n"
+         << "  \"virtual_clients\": "
+         << (cfg.virtual_clients ? "true" : "false") << ",\n"
+         << "  \"git_describe\": \"" << fl::build_git_describe() << "\"\n"
+         << "}\n";
+      std::cout << "bench record written to " << args.str("bench-out")
+                << "\n";
     }
     tools::finish_observability(args, std::cout);
     if (util::shutdown_requested()) {

@@ -329,3 +329,54 @@ cmp "$net_dir/kill.inproc.csv" "$net_dir/kill.csv" ||
   "$(state_line "$net_dir/kill.out")" ] ||
   { echo "transport smoke: state digest differs after kill -9" >&2; exit 1; }
 echo "transport crash-supervision smoke ok"
+
+# Scale smoke — the virtual client store at population scale: 100k clients
+# with a 0.1% cohort must run in bounded memory (LRU cache of 64, so the
+# RSS ceiling is independent of the population) and stay bit-identical to
+# the fully materialized run, at 1 and 4 worker threads
+# (docs/INVARIANTS.md §Scale).
+scale_dir=build/scale_smoke
+rm -rf "$scale_dir" && mkdir -p "$scale_dir"
+scale_flags=(--method=FedAvg --dataset=fmnist --clients=100000 --train=1
+             --test=1 --sample=0.001 --rounds=2 --eval-clients=50 --seed=3)
+FEDCLUST_THREADS=1 ./build/tools/fedclust_sim "${scale_flags[@]}" \
+    --out="$scale_dir/mat.csv" > "$scale_dir/mat.out"
+mat_rss=$(grep -oP 'peak rss \K[0-9]+' "$scale_dir/mat.out")
+for threads in 1 4; do
+  FEDCLUST_THREADS=$threads ./build/tools/fedclust_sim "${scale_flags[@]}" \
+      --virtual-clients=1 --client-cache=64 \
+      --out="$scale_dir/virt.t$threads.csv" \
+      --bench-out="$scale_dir/virt.t$threads.json" \
+      > "$scale_dir/virt.t$threads.out"
+  cmp "$scale_dir/mat.csv" "$scale_dir/virt.t$threads.csv" ||
+    { echo "scale smoke: trace differs from materialized (threads=$threads)" \
+        >&2; exit 1; }
+  [ "$(state_line "$scale_dir/mat.out")" = \
+    "$(state_line "$scale_dir/virt.t$threads.out")" ] ||
+    { echo "scale smoke: state digest differs (threads=$threads)" >&2
+      exit 1; }
+  virt_rss=$(grep -oP '"peak_rss_kb": \K[0-9]+' "$scale_dir/virt.t$threads.json")
+  # Ceiling: the virtual run must stay far below the materialized footprint
+  # (~250 MiB here) — 128 MiB leaves headroom over the observed ~25 MiB
+  # while still proving the population never resided in memory.
+  [ -n "$virt_rss" ] && [ "$virt_rss" -lt 131072 ] ||
+    { echo "scale smoke: virtual RSS $virt_rss KiB above 131072 KiB ceiling" \
+        >&2; exit 1; }
+  [ "$virt_rss" -lt "$mat_rss" ] ||
+    { echo "scale smoke: virtual RSS $virt_rss KiB not below materialized" \
+           "$mat_rss KiB" >&2; exit 1; }
+done
+grep -q 'client store:' "$scale_dir/virt.t1.out" ||
+  { echo "scale smoke: no client-store cache line in output" >&2; exit 1; }
+echo "scale smoke ok (virtual rss ${virt_rss} KiB vs materialized ${mat_rss} KiB)"
+
+# Quick bench: a million-client streaming-aggregation round, recorded as
+# BENCH_round.json at the repository root (rounds/s, peak RSS, git
+# describe) so throughput can be tracked run over run.
+FEDCLUST_THREADS=4 ./build/tools/fedclust_sim --method=FedAvg \
+    --dataset=fmnist --clients=1000000 --train=1 --test=1 --sample=0.0001 \
+    --rounds=3 --eval-clients=50 --seed=3 --virtual-clients=1 \
+    --client-cache=64 --bench-out=BENCH_round.json > "$scale_dir/bench.out"
+grep -q '"rounds_per_s"' BENCH_round.json ||
+  { echo "quick bench: BENCH_round.json malformed" >&2; exit 1; }
+echo "quick bench ok ($(grep -oP '"rounds_per_s": \K[0-9.]+' BENCH_round.json) rounds/s)"
