@@ -1,0 +1,98 @@
+// Landmark-count ablation (docs/SCALING.md §Landmark clustering): how many
+// landmarks does the sketch need before its partition matches the exact
+// O(N²) clustering, and what does each L cost in setup wall time?
+//
+// Sweeps L over a grouped population (disjoint label-set pools = known
+// ground truth) and reports, per L:
+//   - adjusted Rand index vs the ground-truth groups (cluster recovery)
+//   - adjusted Rand index vs the exact path's partition (sketch fidelity)
+//   - setup wall time (warmup + dendrogram + streamed assignment)
+//
+// L = 0 is the exact path itself — its recovery score and wall time are
+// the reference row.
+
+#include <chrono>
+#include <iostream>
+
+#include "clustering/metrics.h"
+#include "core/fedclust.h"
+#include "data/partition.h"
+#include "harness.h"
+#include "table_common.h"
+#include "util/config.h"
+#include "util/table.h"
+
+namespace fedclust::bench {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  util::ArgParser args("ablation_landmarks",
+                       "landmark-sketch cluster recovery and setup cost vs "
+                       "landmark count L (0 = exact clustering)");
+  args.add_option("dataset", "dataset preset", "cifar10");
+  args.add_option("groups", "ground-truth label-set groups", "4");
+  if (!args.parse(argc, argv)) return 0;
+
+  const Scale scale = get_scale();
+  const std::string dataset = args.str("dataset");
+  const auto groups = static_cast<std::size_t>(args.integer("groups"));
+
+  fl::ExperimentConfig cfg = make_config(dataset, "skew20", scale, 1000);
+  cfg.rounds = 1;  // setup is the object of study
+  cfg.fed.label_set_pool = groups;
+  cfg.algo.fedclust_k = groups;
+
+  const auto cdata =
+      data::make_federated_data(cfg.data_spec, cfg.fed, cfg.seed);
+  const auto truth = data::group_ids(cdata);
+
+  struct Row {
+    std::size_t landmarks;
+    double recovery_ari;
+    double vs_exact_ari;
+    double setup_seconds;
+  };
+  std::vector<Row> rows;
+  std::vector<std::size_t> exact_assignment;
+
+  const std::size_t n = cfg.fed.n_clients;
+  std::vector<std::size_t> sweep = {0};
+  for (std::size_t l = 8; l < n; l *= 2) sweep.push_back(l);
+
+  for (const std::size_t L : sweep) {
+    cfg.landmarks = L;
+    fl::Federation fed(cfg);
+    core::FedClust algo(fed);
+    const auto t0 = std::chrono::steady_clock::now();
+    algo.run();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (L == 0) exact_assignment = algo.assignment();
+    rows.push_back(
+        {L, clustering::adjusted_rand_index(algo.assignment(), truth),
+         clustering::adjusted_rand_index(algo.assignment(), exact_assignment),
+         secs});
+  }
+
+  std::cout << "Landmark ablation — " << dataset << ", " << n
+            << " clients in " << groups << " ground-truth groups, cut to k="
+            << groups << "\n\n";
+  util::TablePrinter t("cluster recovery and setup cost vs landmark count");
+  t.set_headers({"landmarks", "recovery ARI", "vs-exact ARI", "setup s"});
+  for (const Row& r : rows) {
+    t.add_row({r.landmarks == 0 ? "exact" : std::to_string(r.landmarks),
+               util::fmt_float(r.recovery_ari, 3),
+               util::fmt_float(r.vs_exact_ari, 3),
+               util::fmt_float(r.setup_seconds, 3)});
+  }
+  t.print();
+  std::cout << "\n(recovery = agreement with ground-truth groups; vs-exact "
+               "= agreement with the L=0 partition.)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedclust::bench
+
+int main(int argc, char** argv) { return fedclust::bench::run(argc, argv); }

@@ -6,7 +6,9 @@
 #include "clustering/distance.h"
 #include "clustering/hierarchical.h"
 #include "fl/cluster_common.h"
+#include "fl/landmark.h"
 #include "fl/parallel_round.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
@@ -31,75 +33,152 @@ std::vector<float> FedClust::partial_weights_after_warmup(
 void FedClust::setup() {
   const std::size_t n = fed_.n_clients();
   const std::size_t p = fed_.model_size();
+  const std::size_t L = fl::effective_landmarks(n, fed_.cfg().landmarks);
 
   // Round 0: broadcast θ0 to every available client; each sends back only
   // the updated final-layer weights. The warmups are the expensive part of
   // setup (every client trains), so they run client-parallel.
   // θ0 is serialized once and every client warms up from the wire-decoded
   // broadcast; partial weights travel back in checksummed warmup envelopes.
+  // Landmark mode reuses the same 0xFEDC0000 out-of-band round key, so a
+  // given client's warmup draw — and its uploaded partial weights — are
+  // identical in exact and landmark modes.
   const std::vector<float> rx_init = fed_.through_wire(
       fl::wire::MessageKind::kModelPull, fed_.init_params(),
       fl::wire::kServerSender, 0xFEDC0000);
-  std::vector<std::vector<float>> partials(n);
-  {
-    OBS_SPAN("fedclust.warmup");
+  const auto warmup_batch = [&](const std::vector<std::size_t>& ids) {
+    std::vector<std::vector<float>> out(ids.size());
     fl::ParallelRoundRunner runner(fed_);
-    runner.for_each_index(n, [&](std::size_t c, nn::Model& ws) {
+    runner.for_each_index(ids.size(), [&](std::size_t i, nn::Model& ws) {
+      const std::size_t c = ids[i];
       OBS_SPAN_ARG("client.warmup", c);
       fed_.bill_download(p);
-      partials[c] = partial_weights_after_warmup(
+      out[i] = partial_weights_after_warmup(
           ws, rx_init, *fed_.client(c), fed_.train_rng(c, 0xFEDC0000));
-      partials[c] = fed_.upload_payload(fl::wire::MessageKind::kWarmupWeights,
-                                        partials[c], c, 0xFEDC0000);
+      out[i] = fed_.upload_payload(fl::wire::MessageKind::kWarmupWeights,
+                                   out[i], c, 0xFEDC0000);
     });
-  }
+    return out;
+  };
 
-  // Proximity matrix M (Eq. 3; cosine available for the metric ablation)
-  // and one-shot HC(M, λ).
-  OBS_SPAN("fedclust.cluster");
+  // Pairwise proximity (Eq. 3; cosine available for the metric ablation) —
+  // the per-pair math behind clustering::{l2,cosine}_distance_matrix.
   const std::string& metric = fed_.cfg().algo.fedclust_distance;
+  std::function<float(const std::vector<float>&, const std::vector<float>&)>
+      pair_dist;
   if (metric == "l2") {
-    report_.proximity = clustering::l2_distance_matrix(partials);
+    pair_dist = [](const std::vector<float>& a, const std::vector<float>& b) {
+      return tensor::l2_distance(a, b);
+    };
   } else if (metric == "cosine") {
-    report_.proximity = clustering::cosine_distance_matrix(partials);
+    pair_dist = [](const std::vector<float>& a, const std::vector<float>& b) {
+      return 1.0f - tensor::cosine_similarity(a, b);
+    };
   } else {
     throw std::invalid_argument("FedClust: unknown distance " + metric);
   }
-  const auto dendro = clustering::agglomerative(
-      report_.proximity,
-      clustering::linkage_from_string(fed_.cfg().algo.fedclust_linkage));
-  if (fed_.cfg().algo.fedclust_k > 0) {
-    // Fixed cluster count requested (sweeps / fixed-k comparisons).
-    report_.assignment =
-        clustering::cut_to_k(dendro, fed_.cfg().algo.fedclust_k);
-    report_.effective_lambda = -1.0f;
+
+  if (L == 0) {
+    // Exact path: every client's partials resident, full O(N²) proximity.
+    std::vector<std::vector<float>> partials;
+    {
+      OBS_SPAN("fedclust.warmup");
+      std::vector<std::size_t> everyone(n);
+      for (std::size_t c = 0; c < n; ++c) everyone[c] = c;
+      partials = warmup_batch(everyone);
+    }
+
+    // Proximity matrix M and one-shot HC(M, λ).
+    OBS_SPAN("fedclust.cluster");
+    if (metric == "l2") {
+      report_.proximity = clustering::l2_distance_matrix(partials);
+    } else {
+      report_.proximity = clustering::cosine_distance_matrix(partials);
+    }
+    const auto dendro = clustering::agglomerative(
+        report_.proximity,
+        clustering::linkage_from_string(fed_.cfg().algo.fedclust_linkage));
+    if (fed_.cfg().algo.fedclust_k > 0) {
+      // Fixed cluster count requested (sweeps / fixed-k comparisons).
+      report_.assignment =
+          clustering::cut_to_k(dendro, fed_.cfg().algo.fedclust_k);
+      report_.effective_lambda = -1.0f;
+    } else {
+      float lambda = fed_.cfg().algo.fedclust_lambda;
+      if (lambda < 0.0f) lambda = clustering::gap_threshold(dendro);
+      report_.effective_lambda = lambda;
+      report_.assignment = clustering::cut_by_threshold(dendro, lambda);
+    }
+    report_.n_clusters = clustering::num_clusters(report_.assignment);
+    landmark_ids_.clear();
+
+    // Store per-cluster partial-weight centroids for newcomer matching.
+    cluster_partials_.assign(
+        report_.n_clusters,
+        std::vector<float>(partials.front().size(), 0.0f));
+    std::vector<std::size_t> counts(report_.n_clusters, 0);
+    for (std::size_t c = 0; c < n; ++c) {
+      const std::size_t k = report_.assignment[c];
+      tensor::axpy(1.0f, partials[c], cluster_partials_[k]);
+      ++counts[k];
+    }
+    for (std::size_t k = 0; k < report_.n_clusters; ++k) {
+      tensor::scale_(cluster_partials_[k],
+                     1.0f / static_cast<float>(counts[k]));
+    }
   } else {
-    float lambda = fed_.cfg().algo.fedclust_lambda;
-    if (lambda < 0.0f) lambda = clustering::gap_threshold(dendro);
-    report_.effective_lambda = lambda;
-    report_.assignment = clustering::cut_by_threshold(dendro, lambda);
+    // Landmark sketch (fl/landmark.h): dendrogram on L landmarks only,
+    // everyone else streamed through nearest-landmark assignment per
+    // cache-sized batch — non-landmark partials are never all resident.
+    landmark_ids_ = fl::sample_landmarks(fed_.cfg().seed, n, L);
+    const std::size_t batch = fed_.cfg().client_cache > 0
+                                  ? fed_.cfg().client_cache
+                                  : 256;  // the client store's default
+    fl::LandmarkCutPolicy cut;
+    cut.linkage =
+        clustering::linkage_from_string(fed_.cfg().algo.fedclust_linkage);
+    cut.k = fed_.cfg().algo.fedclust_k;
+    cut.threshold = fed_.cfg().algo.fedclust_lambda;
+    fl::LandmarkCluster<std::vector<float>> sketch(
+        n, landmark_ids_, batch, warmup_batch, pair_dist);
+    fl::LandmarkResult res = sketch.run(cut);
+    report_.proximity = std::move(res.proximity);
+    report_.assignment = std::move(res.assignment);
+    report_.n_clusters = res.n_clusters;
+    report_.effective_lambda = res.effective_lambda;
+
+    // Newcomer centroids from the resident landmark partials only — the
+    // landmark members are the cluster's defining sample.
+    const auto& lf = sketch.landmark_features();
+    cluster_partials_.assign(report_.n_clusters,
+                             std::vector<float>(lf.front().size(), 0.0f));
+    std::vector<std::size_t> counts(report_.n_clusters, 0);
+    for (std::size_t i = 0; i < landmark_ids_.size(); ++i) {
+      const std::size_t k = report_.assignment[landmark_ids_[i]];
+      tensor::axpy(1.0f, lf[i], cluster_partials_[k]);
+      ++counts[k];
+    }
+    for (std::size_t k = 0; k < report_.n_clusters; ++k) {
+      tensor::scale_(cluster_partials_[k],
+                     1.0f / static_cast<float>(counts[k]));
+    }
   }
-  report_.n_clusters = clustering::num_clusters(report_.assignment);
 
   // Every cluster model starts from θ0 (Algorithm 1, line 7).
   cluster_models_.assign(report_.n_clusters, fed_.init_params());
 
-  // Store per-cluster partial-weight centroids for newcomer matching.
-  cluster_partials_.assign(report_.n_clusters,
-                           std::vector<float>(partials.front().size(), 0.0f));
-  std::vector<std::size_t> counts(report_.n_clusters, 0);
-  for (std::size_t c = 0; c < n; ++c) {
-    const std::size_t k = report_.assignment[c];
-    tensor::axpy(1.0f, partials[c], cluster_partials_[k]);
-    ++counts[k];
-  }
-  for (std::size_t k = 0; k < report_.n_clusters; ++k) {
-    tensor::scale_(cluster_partials_[k],
-                   1.0f / static_cast<float>(counts[k]));
+  // Journal the one-shot verdict for the whole population (round 0) so
+  // run reports see the full partition, not just sampled cohorts — the
+  // input to fedclust_report's clustering-agreement section.
+  if (obs::EventJournal::enabled()) {
+    for (std::size_t c = 0; c < n; ++c) {
+      OBS_JOURNAL(0, c, kCluster, report_.assignment[c]);
+    }
   }
 
   FC_LOG_DEBUG << "FedClust one-shot clustering: " << report_.n_clusters
-               << " clusters at lambda=" << fed_.cfg().algo.fedclust_lambda;
+               << " clusters at lambda=" << fed_.cfg().algo.fedclust_lambda
+               << (L > 0 ? " (landmark sketch)" : "");
 }
 
 void FedClust::round(std::size_t r) {
@@ -152,6 +231,7 @@ void FedClust::save_state(util::BinaryWriter& w) const {
   w.write_f32(report_.effective_lambda);
   fl::write_nested_f32(w, cluster_models_);
   fl::write_nested_f32(w, cluster_partials_);
+  fl::write_index_vec(w, landmark_ids_);
 }
 
 void FedClust::load_state(util::BinaryReader& r) {
@@ -161,6 +241,9 @@ void FedClust::load_state(util::BinaryReader& r) {
   report_.effective_lambda = r.read_f32();
   cluster_models_ = fl::read_nested_f32(r);
   cluster_partials_ = fl::read_nested_f32(r);
+  landmark_ids_ = fl::read_index_vec(r);
+  fl::validate_landmark_ids(landmark_ids_, report_.assignment.size(),
+                            "FedClust snapshot");
 }
 
 }  // namespace fedclust::core

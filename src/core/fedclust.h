@@ -43,6 +43,12 @@ class FedClust : public fl::FlAlgorithm {
   const std::vector<std::size_t>& assignment() const {
     return report_.assignment;
   }
+  // Landmark clients the sketch clustered on (sorted ascending); empty in
+  // exact mode. In landmark mode report().proximity is (L, L) over these
+  // ids instead of the full (m, m) matrix.
+  const std::vector<std::size_t>& landmark_ids() const {
+    return landmark_ids_;
+  }
   const std::vector<float>& cluster_model(std::size_t k) const {
     return cluster_models_.at(k);
   }
@@ -73,6 +79,7 @@ class FedClust : public fl::FlAlgorithm {
       const fl::SimClient& client, util::Rng rng);
 
   ClusteringReport report_;
+  std::vector<std::size_t> landmark_ids_;  // empty = exact clustering
   std::vector<std::vector<float>> cluster_models_;
   // Per-cluster centroid of the round-0 partial uploads — the "copy of each
   // cluster's partial model weights" Algorithm 2 matches newcomers against.

@@ -111,6 +111,13 @@ struct ExperimentConfig {
   // of the full population; 0 = every client. Changes recorded accuracies,
   // so it IS part of config_fingerprint.
   std::size_t eval_clients = 0;
+  // Landmark-sketch clustering (FedClust/PACFL setup): cluster only this
+  // many deterministically sampled landmark clients on the full dendrogram,
+  // then stream everyone else through nearest-landmark assignment in
+  // O(N·L) with bounded memory (fl/landmark.h). 0 (or >= n_clients) keeps
+  // the exact O(N²) path. Changes the partition — and therefore the whole
+  // trajectory — so a non-zero value IS part of config_fingerprint.
+  std::size_t landmarks = 0;
 };
 
 class Federation {

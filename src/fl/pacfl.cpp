@@ -6,8 +6,10 @@
 #include "clustering/distance.h"
 #include "clustering/hierarchical.h"
 #include "fl/cluster_common.h"
+#include "fl/landmark.h"
 #include "linalg/principal_angles.h"
 #include "linalg/svd.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -45,44 +47,86 @@ tensor::Tensor Pacfl::subspace_of(const data::Dataset& ds) const {
 
 void Pacfl::setup() {
   const std::size_t n = fed_.n_clients();
+  const std::size_t L = effective_landmarks(n, fed_.cfg().landmarks);
 
-  // One-shot subspace exchange: each client uploads its basis. The bases
-  // are retained for newcomer matching. The per-client SVDs are independent
-  // (no shared workspace involved), so they fan out directly; uploads are
-  // accounted afterwards in client order.
-  bases_.assign(n, tensor::Tensor());
-  {
-    OBS_SPAN("pacfl.subspace_exchange");
-    util::parallel_for(0, n, [&](std::size_t c) {
-      OBS_SPAN_ARG("client.subspace", c);
-      bases_[c] = subspace_of(fed_.client(c)->train_data());
+  // One-shot subspace exchange. The per-client SVDs are independent (no
+  // shared workspace involved), so they fan out directly; uploads are
+  // accounted afterwards in id order. Each basis travels as a subspace
+  // envelope; the server clusters on the wire-decoded copies (bit-exact
+  // for raw_f32). Setup stays fault-free in both modes (round key 0).
+  const auto subspace_batch = [&](const std::vector<std::size_t>& ids) {
+    std::vector<tensor::Tensor> out(ids.size());
+    util::parallel_for(0, ids.size(), [&](std::size_t i) {
+      OBS_SPAN_ARG("client.subspace", ids[i]);
+      out[i] = subspace_of(fed_.client(ids[i])->train_data());
     });
-  }
-  // Each basis travels as a subspace envelope; the server clusters on the
-  // wire-decoded copies (bit-exact for raw_f32).
-  for (std::size_t c = 0; c < n; ++c) {
-    bases_[c].vec() = fed_.upload_payload(wire::MessageKind::kSubspace,
-                                          bases_[c].vec(), c, 0);
-  }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      out[i].vec() = fed_.upload_payload(wire::MessageKind::kSubspace,
+                                         out[i].vec(), ids[i], 0);
+    }
+    return out;
+  };
 
-  OBS_SPAN("pacfl.cluster");
-  const auto dist = clustering::distance_matrix(
-      n, [&](std::size_t i, std::size_t j) {
-        return linalg::principal_angle_distance_deg(bases_[i], bases_[j]);
-      });
-  const auto dendro =
-      clustering::agglomerative(dist, clustering::Linkage::kAverage);
-  if (fed_.cfg().algo.pacfl_k > 0) {
-    assignment_ = clustering::cut_to_k(dendro, fed_.cfg().algo.pacfl_k);
+  if (L == 0) {
+    // Exact path: every basis resident (retained for newcomer matching),
+    // full O(N²) principal-angle matrix.
+    {
+      OBS_SPAN("pacfl.subspace_exchange");
+      std::vector<std::size_t> everyone(n);
+      for (std::size_t c = 0; c < n; ++c) everyone[c] = c;
+      bases_ = subspace_batch(everyone);
+    }
+
+    OBS_SPAN("pacfl.cluster");
+    const auto dist = clustering::distance_matrix(
+        n, [&](std::size_t i, std::size_t j) {
+          return linalg::principal_angle_distance_deg(bases_[i], bases_[j]);
+        });
+    const auto dendro =
+        clustering::agglomerative(dist, clustering::Linkage::kAverage);
+    if (fed_.cfg().algo.pacfl_k > 0) {
+      assignment_ = clustering::cut_to_k(dendro, fed_.cfg().algo.pacfl_k);
+    } else {
+      float threshold = fed_.cfg().algo.pacfl_threshold_deg;
+      if (threshold < 0.0f) threshold = clustering::gap_threshold(dendro);
+      assignment_ = clustering::cut_by_threshold(dendro, threshold);
+    }
+    landmark_ids_.clear();
   } else {
-    float threshold = fed_.cfg().algo.pacfl_threshold_deg;
-    if (threshold < 0.0f) threshold = clustering::gap_threshold(dendro);
-    assignment_ = clustering::cut_by_threshold(dendro, threshold);
+    // Landmark sketch (fl/landmark.h): principal-angle dendrogram on L
+    // landmark bases, everyone else streamed through nearest-landmark
+    // assignment per cache-sized batch. Only the landmark bases stay
+    // resident — they double as the newcomer-matching set.
+    landmark_ids_ = sample_landmarks(fed_.cfg().seed, n, L);
+    const std::size_t batch = fed_.cfg().client_cache > 0
+                                  ? fed_.cfg().client_cache
+                                  : 256;  // the client store's default
+    LandmarkCutPolicy cut;
+    cut.linkage = clustering::Linkage::kAverage;
+    cut.k = fed_.cfg().algo.pacfl_k;
+    cut.threshold = fed_.cfg().algo.pacfl_threshold_deg;
+    LandmarkCluster<tensor::Tensor> sketch(
+        n, landmark_ids_, batch, subspace_batch,
+        [](const tensor::Tensor& a, const tensor::Tensor& b) {
+          return linalg::principal_angle_distance_deg(a, b);
+        });
+    LandmarkResult res = sketch.run(cut);
+    assignment_ = std::move(res.assignment);
+    bases_ = sketch.landmark_features();
   }
 
   const std::size_t k = clustering::num_clusters(assignment_);
   cluster_models_.assign(k, fed_.init_params());
-  FC_LOG_DEBUG << "PACFL formed " << k << " clusters";
+
+  // Journal the one-shot verdict for the whole population (round 0) so
+  // run reports see the full partition (fedclust_report §Clustering).
+  if (obs::EventJournal::enabled()) {
+    for (std::size_t c = 0; c < n; ++c) {
+      OBS_JOURNAL(0, c, kCluster, assignment_[c]);
+    }
+  }
+  FC_LOG_DEBUG << "PACFL formed " << k << " clusters"
+               << (L > 0 ? " (landmark sketch)" : "");
 }
 
 void Pacfl::round(std::size_t r) {
@@ -99,16 +143,20 @@ std::size_t Pacfl::assign_newcomer(const SimClient& newcomer) {
   }
   tensor::Tensor basis = subspace_of(newcomer.train_data());
   basis.vec() = fed_.upload_payload(wire::MessageKind::kSubspace, basis.vec(),
-                                    bases_.size(), 0);
+                                    assignment_.size(), 0);
   float best = std::numeric_limits<float>::infinity();
-  std::size_t best_client = 0;
+  std::size_t best_idx = 0;
   for (std::size_t c = 0; c < bases_.size(); ++c) {
     const float d = linalg::principal_angle_distance_deg(basis, bases_[c]);
     if (d < best) {
       best = d;
-      best_client = c;
+      best_idx = c;
     }
   }
+  // In landmark mode bases_[i] belongs to landmark_ids_[i]; in exact mode
+  // it belongs to client i.
+  const std::size_t best_client =
+      landmark_ids_.empty() ? best_idx : landmark_ids_[best_idx];
   return assignment_[best_client];
 }
 
@@ -117,6 +165,7 @@ void Pacfl::save_state(util::BinaryWriter& w) const {
   write_nested_f32(w, cluster_models_);
   w.write_u64(bases_.size());
   for (const tensor::Tensor& b : bases_) write_tensor(w, b);
+  write_index_vec(w, landmark_ids_);
 }
 
 void Pacfl::load_state(util::BinaryReader& r) {
@@ -126,6 +175,12 @@ void Pacfl::load_state(util::BinaryReader& r) {
   bases_.clear();
   bases_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) bases_.push_back(read_tensor(r));
+  landmark_ids_ = read_index_vec(r);
+  validate_landmark_ids(landmark_ids_, assignment_.size(), "PACFL snapshot");
+  if (!landmark_ids_.empty() && bases_.size() != landmark_ids_.size()) {
+    throw std::runtime_error(
+        "PACFL snapshot: landmark ids disagree with stored bases");
+  }
 }
 
 }  // namespace fedclust::fl

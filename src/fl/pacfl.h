@@ -24,6 +24,11 @@ class Pacfl : public FlAlgorithm {
   const std::vector<std::vector<float>>& cluster_models() const {
     return cluster_models_;
   }
+  // Landmark clients the sketch clustered on (sorted ascending); empty in
+  // exact mode. In landmark mode bases_ holds only their subspace bases.
+  const std::vector<std::size_t>& landmark_ids() const {
+    return landmark_ids_;
+  }
 
   // Newcomer incorporation: the client computes and uploads its subspace
   // basis; it joins the cluster of the nearest existing client (smallest
@@ -46,8 +51,11 @@ class Pacfl : public FlAlgorithm {
   tensor::Tensor subspace_of(const data::Dataset& ds) const;
 
   std::vector<std::size_t> assignment_;
+  std::vector<std::size_t> landmark_ids_;  // empty = exact clustering
   std::vector<std::vector<float>> cluster_models_;
-  std::vector<tensor::Tensor> bases_;  // kept for newcomer matching
+  // Kept for newcomer matching: every client's basis in exact mode, the
+  // landmark bases only in landmark mode (indexed like landmark_ids_).
+  std::vector<tensor::Tensor> bases_;
 };
 
 }  // namespace fedclust::fl

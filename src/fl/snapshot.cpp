@@ -126,6 +126,11 @@ std::vector<std::uint8_t> canonical_config_bytes(const ExperimentConfig& c) {
   // virtual_clients/client_cache are deliberately absent — like
   // FEDCLUST_THREADS they are perf dials that must not change results.
   util::put_u64_le(b, c.eval_clients);
+  // Landmark clustering changes the partition and thus the trajectory, so
+  // it fingerprints — but only when active: landmarks == 0 is byte-for-byte
+  // the exact-path config it always was, so --landmarks=0 runs (and their
+  // snapshots) stay bit-compatible with pre-landmark builds.
+  if (c.landmarks > 0) util::put_u64_le(b, c.landmarks);
   return b;
 }
 
@@ -277,6 +282,12 @@ std::vector<RngProbe> rng_probes_for(const ExperimentConfig& cfg) {
   probes.push_back({"root", root.state()});
   probes.push_back({"sampler.r0", root.split(0xA11CE000ULL).state()});
   probes.push_back({"train.c0.r0", root.split(0xC11E47000000ULL).state()});
+  // fl/landmark.h kLandmarkStream — the landmark-id sampling stream. Probed
+  // only when landmark mode is on, so exact-mode snapshots keep their
+  // pre-landmark byte layout.
+  if (cfg.landmarks > 0) {
+    probes.push_back({"landmark", root.split(0x1A7DB4A2C5EEDULL).state()});
+  }
   return probes;
 }
 
@@ -491,7 +502,8 @@ std::string manifest_json(const ExperimentConfig& cfg,
   os << "    \"virtual_clients\": "
      << (cfg.virtual_clients ? "true" : "false") << ",\n";
   os << "    \"client_cache\": " << cfg.client_cache << ",\n";
-  os << "    \"eval_clients\": " << cfg.eval_clients << "\n";
+  os << "    \"eval_clients\": " << cfg.eval_clients << ",\n";
+  os << "    \"landmarks\": " << cfg.landmarks << "\n";
   os << "  }\n";
   os << "}\n";
   return os.str();

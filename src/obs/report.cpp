@@ -161,6 +161,18 @@ void ingest_metrics(RunReport& r, const std::string& metrics_text,
         "store.cache_misses", static_cast<double>(r.cache_misses)));
     r.cache_evictions = static_cast<std::uint64_t>(line.number_or(
         "store.cache_evictions", static_cast<double>(r.cache_evictions)));
+    // Landmark-sketch counters (fl/landmark.h); stay zero for exact runs.
+    r.clustering.landmarks = static_cast<std::uint64_t>(line.number_or(
+        "cluster.landmark.count", static_cast<double>(r.clustering.landmarks)));
+    r.clustering.clusters = static_cast<std::uint64_t>(
+        line.number_or("cluster.landmark.clusters",
+                       static_cast<double>(r.clustering.clusters)));
+    r.clustering.assign_batches = static_cast<std::uint64_t>(
+        line.number_or("cluster.landmark.batches",
+                       static_cast<double>(r.clustering.assign_batches)));
+    r.clustering.assigned = static_cast<std::uint64_t>(
+        line.number_or("cluster.landmark.assigned",
+                       static_cast<double>(r.clustering.assigned)));
   }
 }
 
@@ -268,6 +280,15 @@ RunReport build_report(const std::string& journal_text,
     if (n > 0) ks.mean_acc = sum / static_cast<double>(n);
     r.clusters.push_back(ks);
   }
+
+  // Full partition for agreement comparisons: the clients map is ordered,
+  // so the pairs come out sorted by client id.
+  for (const auto& [id, cs] : clients) {
+    if (cs.cluster >= 0) {
+      r.clustering.assignment.emplace_back(
+          id, static_cast<std::uint64_t>(cs.cluster));
+    }
+  }
   return r;
 }
 
@@ -332,7 +353,15 @@ std::string to_json(const RunReport& r) {
        << ",\"upload_wire_bytes\":" << ks.upload_wire_bytes
        << ",\"download_wire_bytes\":" << ks.download_wire_bytes << "}";
   }
-  os << "],\"faults\":{\"dropped\":" << r.faults.dropped
+  os << "],\"clustering\":{\"landmarks\":" << r.clustering.landmarks
+     << ",\"clusters\":" << r.clustering.clusters
+     << ",\"assign_batches\":" << r.clustering.assign_batches
+     << ",\"assigned\":" << r.clustering.assigned << ",\"assignment\":[";
+  for (std::size_t i = 0; i < r.clustering.assignment.size(); ++i) {
+    const auto& [c, k] = r.clustering.assignment[i];
+    os << (i ? "," : "") << "[" << c << "," << k << "]";
+  }
+  os << "]},\"faults\":{\"dropped\":" << r.faults.dropped
      << ",\"crashes\":" << r.faults.crashes
      << ",\"stragglers\":" << r.faults.stragglers
      << ",\"retries\":" << r.faults.retries
@@ -426,6 +455,20 @@ std::string to_markdown(const RunReport& r) {
     }
   }
 
+  if (r.clustering.any()) {
+    os << "\n## Clustering\n\n";
+    os << "* clients assigned (journaled partition): "
+       << r.clustering.assignment.size() << "\n";
+    if (r.clustering.landmarks > 0) {
+      os << "* landmark sketch: " << r.clustering.landmarks
+         << " landmarks -> " << r.clustering.clusters << " clusters, "
+         << r.clustering.assigned << " clients streamed through "
+         << r.clustering.assign_batches << " nearest-landmark batches\n";
+    } else {
+      os << "* exact clustering (no landmark sketch)\n";
+    }
+  }
+
   os << "\n## Faults\n\n";
   os << "| class | count |\n|-------|------:|\n";
   os << "| pre-round dropouts | " << r.faults.dropped << " |\n";
@@ -495,6 +538,25 @@ RunReport from_json(const std::string& text) {
     r.faults.checksum_rejects = u64(*faults, "checksum_rejects");
     r.faults.quarantined = u64(*faults, "quarantined");
   }
+  if (const json::Value* clustering = doc.find("clustering")) {
+    r.clustering.landmarks = u64(*clustering, "landmarks");
+    r.clustering.clusters = u64(*clustering, "clusters");
+    r.clustering.assign_batches = u64(*clustering, "assign_batches");
+    r.clustering.assigned = u64(*clustering, "assigned");
+    const json::Value* pairs = clustering->find("assignment");
+    if (pairs != nullptr && pairs->is_array()) {
+      for (const json::Value& pair : pairs->array) {
+        if (!pair.is_array() || pair.array.size() != 2) {
+          throw std::runtime_error(
+              "fedclust_report: clustering.assignment entries must be "
+              "[client, cluster] pairs");
+        }
+        r.clustering.assignment.emplace_back(
+            static_cast<std::uint64_t>(pair.array[0].number),
+            static_cast<std::uint64_t>(pair.array[1].number));
+      }
+    }
+  }
   if (const json::Value* transport = doc.find("transport")) {
     r.transport.connects = u64(*transport, "connects");
     r.transport.reconnects = u64(*transport, "reconnects");
@@ -503,6 +565,45 @@ RunReport from_json(const std::string& text) {
     r.transport.frame_rejects = u64(*transport, "frame_rejects");
   }
   return r;
+}
+
+bool partition_agreement(const RunReport& a, const RunReport& b,
+                         double* ari) {
+  // Intersect the two journaled partitions on client id (both sides are
+  // sorted by construction), building the contingency table n_ij plus the
+  // row/column marginals as we go.
+  std::map<std::uint64_t, std::uint64_t> bmap(b.clustering.assignment.begin(),
+                                              b.clustering.assignment.end());
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> joint;
+  std::map<std::uint64_t, std::uint64_t> rows, cols;
+  std::uint64_t n = 0;
+  for (const auto& [client, ka] : a.clustering.assignment) {
+    const auto it = bmap.find(client);
+    if (it == bmap.end()) continue;
+    ++joint[{ka, it->second}];
+    ++rows[ka];
+    ++cols[it->second];
+    ++n;
+  }
+  if (n < 2) return false;
+
+  // Hubert & Arabie's adjusted Rand index over pair counts C(x, 2).
+  const auto comb2 = [](std::uint64_t x) {
+    return 0.5 * static_cast<double>(x) * static_cast<double>(x - 1);
+  };
+  double index = 0.0, row_sum = 0.0, col_sum = 0.0;
+  for (const auto& [key, c] : joint) index += comb2(c);
+  for (const auto& [k, c] : rows) row_sum += comb2(c);
+  for (const auto& [k, c] : cols) col_sum += comb2(c);
+  const double expected = row_sum * col_sum / comb2(n);
+  const double max_index = 0.5 * (row_sum + col_sum);
+  // Degenerate case (both sides all-singletons or one-cluster): the raw
+  // Rand index is 1 exactly when the partitions agree, which they do here
+  // since index == max_index == expected.
+  *ari = max_index == expected
+             ? 1.0
+             : (index - expected) / (max_index - expected);
+  return true;
 }
 
 std::vector<Regression> compare(const RunReport& current,

@@ -64,6 +64,25 @@ struct ClusterStats {
   std::uint64_t download_wire_bytes = 0;
 };
 
+// FedClust/PACFL setup summary: landmark-sketch telemetry (the
+// cluster.landmark.* counters from the metrics JSONL; all zero for exact
+// runs) plus the full journaled partition — setup writes one round-0
+// cluster row per client, so `assignment` covers the whole population,
+// not just sampled cohorts.
+struct ClusteringSummary {
+  std::uint64_t landmarks = 0;       // clients the dendrogram actually saw
+  std::uint64_t clusters = 0;        // clusters the sketch produced
+  std::uint64_t assign_batches = 0;  // streamed nearest-landmark batches
+  std::uint64_t assigned = 0;        // non-landmark clients assigned
+  // client -> cluster pairs journaled at setup, sorted by client id.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> assignment;
+
+  bool any() const {
+    return landmarks + clusters + assign_batches + assigned > 0 ||
+           !assignment.empty();
+  }
+};
+
 // One span name aggregated over the Chrome trace ("where did wall time
 // go": fl.round vs client.train vs wire.encode/* vs gemm ...).
 struct PhaseStats {
@@ -123,6 +142,7 @@ struct RunReport {
   std::vector<RoundStats> per_round;
   std::vector<ClientStats> stragglers;  // top-K by straggler attribution
   std::vector<ClusterStats> clusters;
+  ClusteringSummary clustering;
   FaultSummary faults;
   TransportSummary transport;
   std::vector<PhaseStats> phases;       // by total_us, descending
@@ -156,6 +176,14 @@ std::string to_markdown(const RunReport& r);
 // --compare. Only the fields compare() consults are required to be
 // present; missing sections stay at defaults.
 RunReport from_json(const std::string& text);
+
+// Adjusted Rand index between the partitions the two runs journaled,
+// computed over the clients both assigned — the landmark-vs-exact
+// clustering agreement gate (`fedclust_report --ari-min`). Returns false
+// (leaving *ari untouched) when fewer than two common clients exist;
+// agreement is undefined then. 1 = identical partitions, ~0 = chance.
+bool partition_agreement(const RunReport& a, const RunReport& b,
+                         double* ari);
 
 struct Regression {
   std::string metric;   // "final_acc" | "wire_bytes" | "train_us"

@@ -192,6 +192,55 @@ TEST(Report, FromJsonRoundTripsTheCompareFields) {
   EXPECT_EQ(back.faults.quarantined, r.faults.quarantined);
 }
 
+TEST(Report, ClusteringSummaryCollectsPartitionAndLandmarkCounters) {
+  const std::string metrics =
+      std::string(kMetrics) +
+      "{\"round\":1,\"cluster.landmark.count\":16,"
+      "\"cluster.landmark.clusters\":3,\"cluster.landmark.batches\":2,"
+      "\"cluster.landmark.assigned\":84}\n";
+  const report::RunReport r = report::build_report(kJournal, metrics, "");
+  EXPECT_EQ(r.clustering.landmarks, 16u);
+  EXPECT_EQ(r.clustering.clusters, 3u);
+  EXPECT_EQ(r.clustering.assign_batches, 2u);
+  EXPECT_EQ(r.clustering.assigned, 84u);
+  // The journal's cluster rows become the (client, cluster) partition,
+  // sorted by client.
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> want = {
+      {0, 0}, {1, 1}, {2, 1}};
+  EXPECT_EQ(r.clustering.assignment, want);
+
+  const std::string md = report::to_markdown(r);
+  EXPECT_NE(md.find("## Clustering"), std::string::npos);
+  EXPECT_NE(md.find("16 landmarks"), std::string::npos);
+
+  const report::RunReport back = report::from_json(report::to_json(r));
+  EXPECT_EQ(back.clustering.landmarks, 16u);
+  EXPECT_EQ(back.clustering.assignment, want);
+}
+
+TEST(Compare, PartitionAgreementIsLabelInvariantAri) {
+  report::RunReport a;
+  a.clustering.assignment = {{0, 0}, {1, 0}, {2, 1}, {3, 1}};
+  report::RunReport b;
+  // Same partition under renamed cluster ids, plus a client only b knows
+  // about (ignored: agreement runs over the intersection).
+  b.clustering.assignment = {{0, 7}, {1, 7}, {2, 3}, {3, 3}, {9, 7}};
+  double ari = -2.0;
+  ASSERT_TRUE(report::partition_agreement(a, b, &ari));
+  EXPECT_DOUBLE_EQ(ari, 1.0);
+
+  // Split one pair apart: agreement drops below 1.
+  b.clustering.assignment = {{0, 7}, {1, 3}, {2, 3}, {3, 3}};
+  ASSERT_TRUE(report::partition_agreement(a, b, &ari));
+  EXPECT_LT(ari, 1.0);
+
+  // Fewer than two common clients: undefined.
+  report::RunReport c;
+  c.clustering.assignment = {{0, 0}};
+  EXPECT_FALSE(report::partition_agreement(a, c, &ari));
+  EXPECT_FALSE(report::partition_agreement(report::RunReport{}, a, &ari));
+}
+
 TEST(Compare, SelfCompareIsClean) {
   const report::RunReport r =
       report::build_report(kJournal, kMetrics, kTrace);

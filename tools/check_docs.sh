@@ -45,6 +45,37 @@ for f in $doc_flags; do
     { echo "check_docs: docs mention --$f, absent from --help" >&2; fail=1; }
 done
 
+# 1b. Per-binary attribution: a doc line that names a specific binary and
+# mentions --flags must only use flags that binary (or another binary named
+# on the same line) actually has — catches flags documented against the
+# wrong tool, not just unknown flags.
+declare -A bin_flags
+bin_flags[fedclust_sim]=$("$sim" --help |
+  grep -oE '^  --[a-zA-Z][a-zA-Z0-9_-]*' | sed 's/^  --//' | sort -u)
+bin_flags[fedclust_report]=$("$report" --help |
+  grep -oE '^  --[a-zA-Z][a-zA-Z0-9_-]*' | sed 's/^  --//' | sort -u)
+bin_flags[fedclust_server]=$("$server" --help |
+  grep -oE '^  --[a-zA-Z][a-zA-Z0-9_-]*' | sed 's/^  --//' | sort -u)
+bin_flags[fedclust_worker]=$("$worker" --help |
+  grep -oE '^  --[a-zA-Z][a-zA-Z0-9_-]*' | sed 's/^  --//' | sort -u)
+for doc in "${doc_files[@]}"; do
+  while IFS=: read -r lineno line; do
+    bins=$(grep -oE 'fedclust_(sim|report|server|worker)' <<<"$line" |
+           sort -u)
+    [ -n "$bins" ] || continue
+    allowed=""
+    for b in $bins; do allowed+="${bin_flags[$b]}"$'\n'; done
+    for f in $(grep -oE -- '\-\-[a-zA-Z][a-zA-Z0-9_-]*' <<<"$line" |
+               sed 's/^--//' | sort -u); do
+      echo "$f" | grep -qE "$ignore" && continue
+      echo "$allowed" | grep -qx "$f" ||
+        { echo "check_docs: $doc:$lineno documents --$f against" \
+               "$(echo "$bins" | paste -sd,), which lacks it" >&2; fail=1; }
+    done
+  done < <(grep -nE 'fedclust_(sim|report|server|worker)' "$doc" |
+           grep -E -- '\-\-[a-zA-Z]' || true)
+done
+
 # Relative markdown links: [text](target) where target is not a URL or
 # a pure #fragment must resolve against the doc's own directory.
 for doc in docs/*.md; do

@@ -32,6 +32,12 @@ inline void add_experiment_options(util::ArgParser& args) {
   args.add_option("partition", "skew|dirichlet|iid", "skew");
   args.add_option("skew", "label-skew fraction", "0.2");
   args.add_option("alpha", "dirichlet alpha", "0.1");
+  args.add_option("label-pool",
+                  "skew partition: draw each client's label set from this "
+                  "many disjoint ground-truth groups instead of "
+                  "independently (0 = off; makes the population genuinely "
+                  "clusterable, e.g. for clustering-agreement gates)",
+                  "0");
   args.add_option("clients", "number of clients", "40");
   args.add_option("train", "train samples per client", "10");
   args.add_option("test", "test samples per client", "10");
@@ -73,6 +79,13 @@ inline void add_experiment_options(util::ArgParser& args) {
                   "recorded accuracies, so it feeds the config "
                   "fingerprint)",
                   "0");
+  args.add_option("landmarks",
+                  "FedClust/PACFL setup: cluster only this many "
+                  "deterministically sampled landmark clients, then assign "
+                  "everyone else to the nearest landmark in O(N·L) with "
+                  "bounded memory (0 = exact O(N²) clustering; changes the "
+                  "partition, so it feeds the config fingerprint)",
+                  "0");
   args.add_option("fast-math-kernels",
                   "FMA-contracted SIMD kernels + int8-domain qint8 "
                   "aggregation; trades bit-identity with the scalar "
@@ -112,6 +125,7 @@ inline fl::ExperimentConfig build_experiment_config(
   cfg.fed.test_per_client = static_cast<std::size_t>(args.integer("test"));
   cfg.fed.partition = args.str("partition");
   cfg.fed.skew_fraction = args.real("skew");
+  cfg.fed.label_set_pool = static_cast<std::size_t>(args.integer("label-pool"));
   cfg.fed.dirichlet_alpha = args.real("alpha");
   cfg.model.arch = args.str("dataset") == "cifar100" ? "resnet9" : "lenet5";
   cfg.model.in_channels = cfg.data_spec.channels;
@@ -129,6 +143,7 @@ inline fl::ExperimentConfig build_experiment_config(
   cfg.virtual_clients = args.integer("virtual-clients") != 0;
   cfg.client_cache = static_cast<std::size_t>(args.integer("client-cache"));
   cfg.eval_clients = static_cast<std::size_t>(args.integer("eval-clients"));
+  cfg.landmarks = static_cast<std::size_t>(args.integer("landmarks"));
   cfg.algo.fedclust_lambda = static_cast<float>(args.real("lambda"));
   cfg.algo.fedclust_k = static_cast<std::size_t>(args.integer("k"));
   cfg.algo.pacfl_k = cfg.algo.fedclust_k;

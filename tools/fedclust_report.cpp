@@ -77,6 +77,12 @@ int main(int argc, char** argv) {
     args.add_option("time-tol-pct",
                     "--compare: allowed % growth of total train wall time",
                     "50");
+    args.add_option("ari-min",
+                    "--compare: minimum adjusted-Rand agreement between the "
+                    "two runs' journaled cluster partitions (negative = no "
+                    "gate; exits 2 below the minimum or when agreement "
+                    "cannot be computed)",
+                    "-1");
     if (!args.parse(argc, argv)) return 0;
 
     if (args.str("journal").empty()) {
@@ -113,8 +119,32 @@ int main(int argc, char** argv) {
       thresholds.acc_tol = args.real("acc-tol");
       thresholds.bytes_tol_pct = args.real("bytes-tol-pct");
       thresholds.time_tol_pct = args.real("time-tol-pct");
-      const auto regressions =
-          obs::report::compare(report, baseline, thresholds);
+      auto regressions = obs::report::compare(report, baseline, thresholds);
+
+      // Clustering-agreement gate: both runs journal their full partition
+      // at setup, so ARI over the common clients measures how faithfully
+      // (say) a landmark-sketch run reproduced the exact partition.
+      double ari = 0.0;
+      const bool have_ari =
+          obs::report::partition_agreement(report, baseline, &ari);
+      if (have_ari) {
+        std::cout << "clustering agreement (adjusted Rand) vs baseline: "
+                  << ari << "\n";
+      }
+      const double ari_min = args.real("ari-min");
+      if (ari_min >= 0.0) {
+        if (!have_ari) {
+          regressions.push_back(
+              {"cluster_ari", 0.0, ari_min,
+               "no common journaled cluster assignments to compare "
+               "(--ari-min needs cluster rows in both runs)"});
+        } else if (ari < ari_min) {
+          regressions.push_back(
+              {"cluster_ari", ari, ari_min,
+               "cluster partition agreement below the --ari-min gate"});
+        }
+      }
+
       if (regressions.empty()) {
         std::cout << "compare vs " << args.str("compare")
                   << ": no regression\n";

@@ -370,6 +370,82 @@ grep -q 'client store:' "$scale_dir/virt.t1.out" ||
   { echo "scale smoke: no client-store cache line in output" >&2; exit 1; }
 echo "scale smoke ok (virtual rss ${virt_rss} KiB vs materialized ${mat_rss} KiB)"
 
+# Landmark clustering smoke (docs/SCALING.md §Landmark clustering), three
+# contracts:
+#   (a) --landmarks=0 is the exact path, bit-identical to not passing the
+#       flag at all (same CSV, same state digest, same fingerprint);
+#   (b) on a population with ground-truth group structure the sketch must
+#       reproduce the exact partition — gated through fedclust_report's
+#       adjusted-Rand agreement (--ari-min) over the journaled partitions;
+#   (c) FedClust at 100k virtual clients with --landmarks=256 must finish
+#       under the same RSS ceiling as the FedAvg scale smoke (the exact
+#       path would need the O(N²) proximity matrix, ~40 GB) and stay
+#       bit-identical at 1 and 4 worker threads.
+lm_dir=build/landmark_smoke
+rm -rf "$lm_dir" && mkdir -p "$lm_dir"
+./build/tools/fedclust_sim --method=FedClust --clients=8 --rounds=2 \
+    --train=6 --test=4 --sample=0.5 --seed=5 \
+    --out="$lm_dir/exact.csv" > "$lm_dir/exact.out"
+./build/tools/fedclust_sim --method=FedClust --clients=8 --rounds=2 \
+    --train=6 --test=4 --sample=0.5 --seed=5 --landmarks=0 \
+    --out="$lm_dir/lm0.csv" > "$lm_dir/lm0.out"
+cmp "$lm_dir/exact.csv" "$lm_dir/lm0.csv" ||
+  { echo "landmark smoke: --landmarks=0 is not the exact path" >&2; exit 1; }
+[ "$(state_line "$lm_dir/exact.out")" = "$(state_line "$lm_dir/lm0.out")" ] ||
+  { echo "landmark smoke: --landmarks=0 state digest differs" >&2; exit 1; }
+
+agree_flags=(--method=FedClust --dataset=fmnist --partition=skew
+             --label-pool=4 --clients=32 --train=8 --test=4 --rounds=1
+             --sample=0.25 --k=4 --seed=7)
+./build/tools/fedclust_sim "${agree_flags[@]}" \
+    --journal-out="$lm_dir/exact.journal.jsonl" \
+    --metrics-out="$lm_dir/exact.metrics.jsonl" >/dev/null
+./build/tools/fedclust_sim "${agree_flags[@]}" --landmarks=16 \
+    --journal-out="$lm_dir/lm.journal.jsonl" \
+    --metrics-out="$lm_dir/lm.metrics.jsonl" >/dev/null
+./build/tools/fedclust_report \
+    --journal="$lm_dir/exact.journal.jsonl" \
+    --metrics="$lm_dir/exact.metrics.jsonl" \
+    --json-out="$lm_dir/exact.report.json" --md-out=/dev/null >/dev/null
+./build/tools/fedclust_report \
+    --journal="$lm_dir/lm.journal.jsonl" \
+    --metrics="$lm_dir/lm.metrics.jsonl" \
+    --md-out="$lm_dir/lm.report.md" \
+    --compare="$lm_dir/exact.report.json" --ari-min=0.9 \
+    --acc-tol=1 --bytes-tol-pct=100000 --time-tol-pct=100000 \
+    > "$lm_dir/agree.out" ||
+  { echo "landmark smoke: sketch partition diverged from exact" >&2
+    cat "$lm_dir/agree.out" >&2; exit 1; }
+grep -q 'clustering agreement' "$lm_dir/agree.out" ||
+  { echo "landmark smoke: no agreement line from fedclust_report" >&2
+    exit 1; }
+grep -q 'landmark sketch: 16 landmarks' "$lm_dir/lm.report.md" ||
+  { echo "landmark smoke: report lacks the landmark clustering section" >&2
+    exit 1; }
+
+lm_scale_flags=(--method=FedClust --dataset=fmnist --clients=100000
+                --train=1 --test=1 --sample=0.0005 --rounds=1
+                --eval-clients=50 --seed=3 --virtual-clients=1
+                --client-cache=64 --landmarks=256 --k=4)
+for threads in 1 4; do
+  FEDCLUST_THREADS=$threads ./build/tools/fedclust_sim \
+      "${lm_scale_flags[@]}" --out="$lm_dir/scale.t$threads.csv" \
+      --bench-out="$lm_dir/scale.t$threads.json" \
+      > "$lm_dir/scale.t$threads.out"
+  lm_rss=$(grep -oP '"peak_rss_kb": \K[0-9]+' "$lm_dir/scale.t$threads.json")
+  [ -n "$lm_rss" ] && [ "$lm_rss" -lt 131072 ] ||
+    { echo "landmark smoke: 100k RSS $lm_rss KiB above 131072 KiB ceiling" \
+        >&2; exit 1; }
+done
+cmp "$lm_dir/scale.t1.csv" "$lm_dir/scale.t4.csv" ||
+  { echo "landmark smoke: 100k trace differs across thread counts" >&2
+    exit 1; }
+[ "$(state_line "$lm_dir/scale.t1.out")" = \
+  "$(state_line "$lm_dir/scale.t4.out")" ] ||
+  { echo "landmark smoke: 100k state digest differs across threads" >&2
+    exit 1; }
+echo "landmark smoke ok (100k clients, 256 landmarks, rss ${lm_rss} KiB)"
+
 # Quick bench: a million-client streaming-aggregation round, recorded as
 # BENCH_round.json at the repository root (rounds/s, peak RSS, git
 # describe) so throughput can be tracked run over run.
